@@ -1,0 +1,59 @@
+// Ablation: Viterbi (max joint path, the paper's decoder) vs posterior
+// max-marginal decoding, for both HMM and dHMM on the toy and OCR tasks.
+#include <cstdio>
+
+#include "common.h"
+#include "hmm/posterior_decoding.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace dhmm;
+  bench::PrintHeader("Ablation C", "Viterbi vs posterior decoding");
+
+  TextTable table({"task", "model", "Viterbi", "posterior"});
+
+  // --- toy ---
+  const size_t n_seq = static_cast<size_t>(BenchScaled(300, 100));
+  bench::ToyRun toy = bench::RunToy(/*sigma=*/0.8, n_seq, 6, /*alpha=*/1.0,
+                                    /*seed=*/41, BenchScaled(50, 15));
+  auto toy_acc = [&](const eval::LabelSequences& paths) {
+    return eval::OneToOneAccuracy(paths, toy.gold, data::kToyStates).accuracy;
+  };
+  table.AddRow({"toy", "HMM", StrFormat("%.4f", toy_acc(toy.hmm_paths)),
+                StrFormat("%.4f", toy_acc(hmm::PosteriorDecodeDataset(
+                                      toy.hmm, toy.data)))});
+  table.AddRow({"toy", "dHMM", StrFormat("%.4f", toy_acc(toy.dhmm_paths)),
+                StrFormat("%.4f", toy_acc(hmm::PosteriorDecodeDataset(
+                                      toy.dhmm, toy.data)))});
+
+  // --- OCR (supervised) ---
+  data::OcrOptions oopts = bench::OcrBenchCorpus();
+  oopts.num_words = static_cast<size_t>(BenchScaled(1200, 300));
+  data::OcrDataset ds = GenerateOcrDataset(oopts);
+  hmm::Dataset<prob::BinaryObs> train, test;
+  for (size_t i = 0; i < ds.words.size(); ++i) {
+    (i % 5 == 0 ? test : train).push_back(ds.words[i]);
+  }
+  eval::LabelSequences ocr_gold;
+  for (const auto& s : test) ocr_gold.push_back(s.labels);
+
+  for (double alpha : {0.0, 10.0}) {
+    bench::OcrRun run = bench::RunOcrFold(train, test, alpha, 1e5);
+    eval::LabelSequences viterbi, posterior;
+    for (const auto& seq : test) {
+      linalg::Matrix log_b = run.model.emission->LogProbTable(seq.obs);
+      viterbi.push_back(hmm::Viterbi(run.model.pi, run.model.a, log_b).path);
+      posterior.push_back(
+          hmm::PosteriorDecode(run.model.pi, run.model.a, log_b));
+    }
+    table.AddRow({"OCR", alpha == 0.0 ? "HMM" : "dHMM",
+                  StrFormat("%.4f", eval::FrameAccuracy(viterbi, ocr_gold)),
+                  StrFormat("%.4f", eval::FrameAccuracy(posterior, ocr_gold))});
+  }
+
+  table.Print();
+  std::printf("Expected shape: posterior decoding matches or slightly beats "
+              "Viterbi on per-frame accuracy (it optimizes exactly that "
+              "metric); the HMM-vs-dHMM ordering is decoder-invariant.\n");
+  return 0;
+}

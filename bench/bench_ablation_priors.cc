@@ -1,0 +1,123 @@
+// Ablation (beyond the paper's figures, motivated by its §2.1 related work):
+// compares the transition priors the literature proposes on the same
+// unsupervised tasks —
+//   none      : plain Baum-Welch (ML),
+//   smoothing : Dirichlet MAP with beta > 1 (Wang & Schuurmans [50]),
+//   sparse    : Dirichlet MAP with beta < 1 (Bicego et al. [8]),
+//   diversity : the paper's DPP prior (dHMM).
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/dirichlet_prior.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace dhmm;
+
+struct PriorResult {
+  double toy_accuracy = 0.0;
+  double pos_accuracy = 0.0;
+  double pos_diversity = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation A", "transition priors: none / smoothing / "
+                                   "sparse / diversity");
+
+  // --- toy task ---
+  const size_t n_seq = static_cast<size_t>(BenchScaled(300, 100));
+  prob::Rng toy_rng(21);
+  hmm::Dataset<double> toy_data =
+      data::GenerateToyDataset(/*sigma=*/0.8, n_seq, 6, toy_rng);
+  eval::LabelSequences toy_gold;
+  for (const auto& s : toy_data) toy_gold.push_back(s.labels);
+
+  // --- PoS task (ambiguous variant, where priors matter) ---
+  data::PosCorpusOptions copts = bench::PosBenchCorpus();
+  copts.ambiguity = 0.30;
+  data::PosCorpus corpus = GeneratePosCorpus(copts);
+  eval::LabelSequences pos_gold;
+  for (const auto& s : corpus.sentences) pos_gold.push_back(s.labels);
+  const int em_iters = BenchScaled(50, 15);
+
+  auto run_toy = [&](const hmm::TransitionMStep& m_step,
+                     double alpha) -> double {
+    prob::Rng init_rng(22);
+    hmm::HmmModel<double> model = data::ToyRandomInit(init_rng);
+    if (alpha > 0.0) {
+      core::DiversifiedEmOptions opts;
+      opts.alpha = alpha;
+      opts.max_iters = em_iters;
+      core::FitDiversifiedHmm(&model, toy_data, opts);
+    } else {
+      hmm::EmOptions em;
+      em.max_iters = em_iters;
+      em.transition_m_step = m_step;
+      hmm::FitEm(&model, toy_data, em);
+    }
+    return eval::OneToOneAccuracy(hmm::DecodeDataset(model, toy_data),
+                                  toy_gold, data::kToyStates)
+        .accuracy;
+  };
+
+  auto run_pos = [&](const hmm::TransitionMStep& m_step, double alpha,
+                     double* diversity) {
+    prob::Rng init_rng(23);
+    const size_t k = data::kNumPosTags;
+    hmm::HmmModel<int> model(
+        init_rng.DirichletSymmetric(k, 1.0),
+        init_rng.RandomStochasticMatrix(k, k, 1.0),
+        std::make_unique<prob::CategoricalEmission>(
+            prob::CategoricalEmission::RandomInit(k, corpus.vocab_size,
+                                                  init_rng)));
+    if (alpha > 0.0) {
+      core::DiversifiedEmOptions opts;
+      opts.alpha = alpha;
+      opts.max_iters = em_iters;
+      core::FitDiversifiedHmm(&model, corpus.sentences, opts);
+    } else {
+      hmm::EmOptions em;
+      em.max_iters = em_iters;
+      em.transition_m_step = m_step;
+      hmm::FitEm(&model, corpus.sentences, em);
+    }
+    *diversity = eval::AveragePairwiseDiversity(model.a);
+    return eval::OneToOneAccuracy(hmm::DecodeDataset(model, corpus.sentences),
+                                  pos_gold, k)
+        .accuracy;
+  };
+
+  struct Row {
+    const char* name;
+    hmm::TransitionMStep m_step;
+    double alpha;
+  };
+  std::vector<Row> rows = {
+      {"none (ML)", nullptr, 0.0},
+      {"smoothing (beta=2)", core::MakeDirichletMStep(2.0), 0.0},
+      {"smoothing (beta=10)", core::MakeDirichletMStep(10.0), 0.0},
+      {"sparse (beta=0.5)", core::MakeDirichletMStep(0.5), 0.0},
+      {"diversity (alpha=1)", nullptr, 1.0},
+      {"diversity (alpha=10)", nullptr, 10.0},
+  };
+
+  TextTable table({"prior", "toy 1-to-1", "PoS 1-to-1", "PoS diversity"});
+  for (const auto& row : rows) {
+    double diversity = 0.0;
+    double toy_acc = run_toy(row.m_step, row.alpha);
+    double pos_acc = run_pos(row.m_step, row.alpha, &diversity);
+    table.AddRow({row.name, StrFormat("%.4f", toy_acc),
+                  StrFormat("%.4f", pos_acc), StrFormat("%.4f", diversity)});
+    std::printf("%s done\n", row.name);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("Expected shape: the diversity prior is the strongest or "
+              "near-strongest on both tasks; smoothing/sparse priors give "
+              "smaller, task-dependent gains (the paper's §2.1 narrative).\n");
+  return 0;
+}

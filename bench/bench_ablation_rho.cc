@@ -1,0 +1,64 @@
+// Ablation (design choice called out in DESIGN.md): the probability product
+// kernel exponent rho. The paper fixes rho = 0.5 (Bhattacharyya) "for all
+// experiments" without ablating it; this bench sweeps rho on the toy task
+// and reports accuracy and resulting diversity, plus the gradient-formula
+// fidelity check (paper Eq. 15 vs exact normalized-kernel gradient).
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "dpp/logdet.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace dhmm;
+  bench::PrintHeader("Ablation B", "kernel exponent rho and gradient fidelity");
+
+  const size_t n_seq = static_cast<size_t>(BenchScaled(300, 100));
+  prob::Rng data_rng(31);
+  hmm::Dataset<double> data =
+      data::GenerateToyDataset(/*sigma=*/0.8, n_seq, 6, data_rng);
+  eval::LabelSequences gold;
+  for (const auto& s : data) gold.push_back(s.labels);
+  const int em_iters = BenchScaled(50, 15);
+
+  TextTable table({"rho", "toy 1-to-1", "avg B-dist", "log det K~(A)"});
+  for (double rho : {0.25, 0.5, 0.75, 1.0}) {
+    prob::Rng init_rng(32);
+    hmm::HmmModel<double> model = data::ToyRandomInit(init_rng);
+    core::DiversifiedEmOptions opts;
+    opts.alpha = 1.0;
+    opts.rho = rho;
+    opts.max_iters = em_iters;
+    core::FitDiversifiedHmm(&model, data, opts);
+    double acc = eval::OneToOneAccuracy(hmm::DecodeDataset(model, data), gold,
+                                        data::kToyStates)
+                     .accuracy;
+    table.AddRow({StrFormat("%.2f", rho), StrFormat("%.4f", acc),
+                  StrFormat("%.4f", eval::AveragePairwiseDiversity(model.a)),
+                  StrFormat("%.4f",
+                            dpp::LogDetNormalizedKernel(model.a, rho))});
+  }
+  table.Print();
+
+  // Gradient fidelity: on the simplex, exact gradient == 2 * Eq.15 - 1
+  // entrywise (both yield the same projected ascent direction).
+  prob::Rng rng(33);
+  linalg::Matrix a = rng.RandomStochasticMatrix(5, 5, 2.0);
+  linalg::Matrix exact, paper;
+  dpp::GradLogDetNormalizedKernel(a, 0.5, &exact);
+  dpp::PaperGradLogDet(a, &paper);
+  double max_dev = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      max_dev = std::max(max_dev,
+                         std::fabs(exact(i, j) - (2.0 * paper(i, j) - 1.0)));
+    }
+  }
+  std::printf("gradient fidelity: max |exact - (2*Eq.15 - 1)| = %.2e "
+              "(identical projected direction)\n\n", max_dev);
+  std::printf("Expected shape: rho = 0.5 (the paper's choice) is competitive "
+              "across the sweep; the prior's effect is not hypersensitive to "
+              "rho.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation (the paper's future-work direction): selecting the number of
+// hidden states by penalized likelihood, with and without the diversity
+// prior active during fitting. The generating model has 5 states; a good
+// selector recovers k = 5.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/state_selection.h"
+#include "prob/gaussian_emission.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace dhmm;
+  bench::PrintHeader("Ablation D", "state-count selection (BIC sweep)");
+
+  const size_t n_seq = static_cast<size_t>(BenchScaled(300, 120));
+  prob::Rng data_rng(51);
+  hmm::Dataset<double> data =
+      data::GenerateToyDataset(/*sigma=*/0.35, n_seq, 8, data_rng);
+
+  core::ModelFactory<double> factory = [](size_t k, prob::Rng& rng) {
+    return hmm::HmmModel<double>(
+        rng.DirichletSymmetric(k, 3.0), rng.RandomStochasticMatrix(k, k, 3.0),
+        std::make_unique<prob::GaussianEmission>(
+            prob::GaussianEmission::RandomInit(k, rng)));
+  };
+
+  for (double alpha : {0.0, 1.0}) {
+    core::StateSelectionOptions opts;
+    opts.min_states = 2;
+    opts.max_states = static_cast<size_t>(BenchScaled(8, 6));
+    opts.alpha = alpha;
+    opts.em_iters = BenchScaled(40, 15);
+    opts.restarts = BenchScaled(2, 1);
+    core::StateSelectionResult result = core::SelectStateCount(
+        data, factory, /*emission_params_per_state=*/2.0, opts);
+
+    std::printf("--- alpha = %g ---\n", alpha);
+    TextTable table({"k", "loglik", "#params", "BIC"});
+    for (const auto& cand : result.candidates) {
+      table.AddRow({StrFormat("%zu", cand.k),
+                    StrFormat("%.1f", cand.log_likelihood),
+                    StrFormat("%.0f", cand.num_parameters),
+                    StrFormat("%.1f", cand.score)});
+    }
+    table.Print();
+    std::printf("selected k = %zu (true k = 5)\n\n", result.best_k);
+  }
+  std::printf("Expected shape: BIC selects k at or near the generating 5; "
+              "the diversity prior does not distort the selection.\n");
+  return 0;
+}

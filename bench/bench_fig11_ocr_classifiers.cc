@@ -1,0 +1,76 @@
+// Reproduces Fig. 11: supervised OCR test accuracy of four classifiers under
+// 10-fold cross validation.
+// Paper values: NaiveBayes 62.7% (1.1), HMM 70.6% (1.3), Optimized HMM
+// slightly above HMM, dHMM 72.06% (2.2). Shape to check:
+// NaiveBayes < HMM <= OptimizedHMM < dHMM.
+#include <cstdio>
+
+#include "baselines/naive_bayes.h"
+#include "baselines/optimized_hmm.h"
+#include "common.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace dhmm;
+
+double FoldAccuracy(const eval::LabelSequences& pred,
+                    const hmm::Dataset<prob::BinaryObs>& test) {
+  eval::LabelSequences gold;
+  for (const auto& s : test) gold.push_back(s.labels);
+  return eval::FrameAccuracy(pred, gold);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 11", "OCR classifier comparison (k-fold CV)");
+
+  data::OcrDataset ds = GenerateOcrDataset(bench::OcrBenchCorpus());
+  const size_t folds = static_cast<size_t>(BenchScaled(10, 3));
+  prob::Rng rng(3);
+  auto splits = eval::KFoldSplit(ds.words.size(), folds, rng);
+
+  std::vector<double> nb_acc, hmm_acc, ohmm_acc, dhmm_acc;
+  for (const auto& fold : splits) {
+    auto train = eval::Subset(ds.words, fold.train);
+    auto test = eval::Subset(ds.words, fold.test);
+
+    baselines::NaiveBayesClassifier nb(data::kNumLetters, data::kGlyphDims);
+    nb.Fit(train);
+    eval::LabelSequences nb_pred;
+    for (const auto& s : test) nb_pred.push_back(nb.PredictSequence(s.obs));
+    nb_acc.push_back(FoldAccuracy(nb_pred, test));
+
+    hmm_acc.push_back(bench::RunOcrFold(train, test, 0.0, 0.0).accuracy);
+
+    baselines::OptimizedHmm ohmm(data::kNumLetters, data::kGlyphDims);
+    ohmm.Fit(train);
+    eval::LabelSequences ohmm_pred;
+    for (const auto& s : test) ohmm_pred.push_back(ohmm.Decode(s.obs));
+    ohmm_acc.push_back(FoldAccuracy(ohmm_pred, test));
+
+    dhmm_acc.push_back(bench::RunOcrFold(train, test, 10.0, 1e5).accuracy);
+    std::printf("fold done: NB=%.3f HMM=%.3f OptHMM=%.3f dHMM=%.3f\n",
+                nb_acc.back(), hmm_acc.back(), ohmm_acc.back(),
+                dhmm_acc.back());
+  }
+  std::printf("\n");
+
+  TextTable table({"classifier", "mean accuracy (%)", "std (%)", "paper"});
+  auto add = [&](const std::string& name, const std::vector<double>& accs,
+                 const std::string& paper) {
+    eval::MeanStd ms = eval::ComputeMeanStd(accs);
+    table.AddRow({name, StrFormat("%.2f", 100.0 * ms.mean),
+                  StrFormat("%.2f", 100.0 * ms.std), paper});
+  };
+  add("Naive Bayes", nb_acc, "62.7 (1.1)");
+  add("HMM", hmm_acc, "70.6 (1.3)");
+  add("Optimized HMM", ohmm_acc, "~71 (limited gain)");
+  add("dHMM", dhmm_acc, "72.06 (2.2)");
+  table.Print();
+
+  std::printf("Expected shape (paper): NaiveBayes < HMM <= OptimizedHMM < "
+              "dHMM.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Fig. 2 (a, b): ground-truth vs HMM-learned vs dHMM-learned
+// parameters on the simulated 5-state dataset — the transition matrices, the
+// initial distribution, and the Gaussian emission means/stds, with learned
+// states aligned to the ground truth by the Hungarian algorithm on the
+// confusion matrix.
+#include <cstdio>
+
+#include "common.h"
+#include "eval/hungarian.h"
+#include "prob/gaussian_emission.h"
+#include "util/string_util.h"
+
+namespace dhmm {
+namespace {
+
+// Reorders model states by the 1-to-1 mapping (mapping[state] = true state).
+struct Aligned {
+  linalg::Matrix a;
+  linalg::Vector pi, mu, sigma;
+};
+
+Aligned AlignToTruth(const hmm::HmmModel<double>& model,
+                     const eval::LabelSequences& paths,
+                     const eval::LabelSequences& gold) {
+  const size_t k = model.num_states();
+  eval::AlignedAccuracy acc = eval::OneToOneAccuracy(paths, gold, k);
+  // inverse map: row `true_state` of the output = learned state mapped to it.
+  std::vector<size_t> source(k);
+  for (size_t s = 0; s < k; ++s) {
+    source[static_cast<size_t>(acc.mapping[s])] = s;
+  }
+  const auto* em =
+      dynamic_cast<const prob::GaussianEmission*>(model.emission.get());
+  Aligned out;
+  out.a = linalg::Matrix(k, k);
+  out.pi = linalg::Vector(k);
+  out.mu = linalg::Vector(k);
+  out.sigma = linalg::Vector(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.pi[i] = model.pi[source[i]];
+    out.mu[i] = em->mu()[source[i]];
+    out.sigma[i] = em->sigma()[source[i]];
+    for (size_t j = 0; j < k; ++j) {
+      out.a(i, j) = model.a(source[i], source[j]);
+    }
+  }
+  return out;
+}
+
+void PrintMatrixTriplet(const linalg::Matrix& truth, const linalg::Matrix& h,
+                        const linalg::Matrix& d) {
+  std::printf("%-42s%-42s%s\n", "original A", "HMM A", "dHMM A");
+  for (size_t i = 0; i < truth.rows(); ++i) {
+    std::string row;
+    for (const linalg::Matrix* m : {&truth, &h, &d}) {
+      std::string part = "[";
+      for (size_t j = 0; j < m->cols(); ++j) {
+        part += StrFormat(" %.3f", (*m)(i, j));
+      }
+      part += " ]";
+      row += PadRight(part, 42);
+    }
+    std::printf("%s\n", row.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace dhmm
+
+int main() {
+  using namespace dhmm;
+  bench::PrintHeader("Fig. 2", "toy parameters: ground truth vs HMM vs dHMM");
+
+  const size_t n_seq = static_cast<size_t>(BenchScaled(300, 100));
+  bench::ToyRun run = bench::RunToy(/*sigma=*/0.025, n_seq, /*length=*/6,
+                                    /*alpha=*/1.0, /*seed=*/42,
+                                    /*em_iters=*/60);
+
+  Aligned hmm_params = AlignToTruth(run.hmm, run.hmm_paths, run.gold);
+  Aligned dhmm_params = AlignToTruth(run.dhmm, run.dhmm_paths, run.gold);
+  data::ToyParams truth = data::ToyGroundTruth(0.025);
+
+  std::printf("--- Fig. 2a: transition matrices (rows aligned to truth) ---\n");
+  PrintMatrixTriplet(truth.a, hmm_params.a, dhmm_params.a);
+
+  std::printf("\n--- Fig. 2b: pi, B.mu, B.sigma ---\n");
+  TextTable table({"param", "state1", "state2", "state3", "state4", "state5"});
+  auto add = [&](const std::string& name, const linalg::Vector& v) {
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < v.size(); ++i) row.push_back(StrFormat("%.4f", v[i]));
+    table.AddRow(row);
+  };
+  add("pi (truth)", truth.pi);
+  add("pi (HMM)", hmm_params.pi);
+  add("pi (dHMM)", dhmm_params.pi);
+  add("B.mu (truth)", truth.mu);
+  add("B.mu (HMM)", hmm_params.mu);
+  add("B.mu (dHMM)", dhmm_params.mu);
+  add("B.sigma (truth)", truth.sigma);
+  add("B.sigma (HMM)", hmm_params.sigma);
+  add("B.sigma (dHMM)", dhmm_params.sigma);
+  table.Print();
+
+  std::printf("Expected shape (paper): dHMM rows mutually distinct and close "
+              "to truth;\nHMM collapses several states onto similar "
+              "emissions.\n");
+  return 0;
+}

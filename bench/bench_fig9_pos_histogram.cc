@@ -1,0 +1,83 @@
+// Reproduces Fig. 9: words-per-tag histograms — ground truth vs HMM vs dHMM
+// (decoded tag frequencies, tags sorted by true frequency). Paper shape: the
+// truth is a skewed long-tail; plain HMM flattens the low-frequency tail;
+// the dHMM tracks the tail closer to truth.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace dhmm;
+  bench::PrintHeader("Fig. 9", "words-per-tag histogram: truth vs HMM vs dHMM");
+
+  data::PosCorpus corpus = GeneratePosCorpus(bench::PosBenchCorpus());
+  const int em_iters = BenchScaled(60, 20);
+  const int restarts = BenchScaled(3, 1);
+
+  bench::PosRun hmm_run = bench::RunPos(corpus, 0.0, 5, em_iters, restarts);
+  bench::PosRun dhmm_run = bench::RunPos(corpus, 100.0, 5, em_iters, restarts);
+
+  eval::LabelSequences gold;
+  for (const auto& s : corpus.sentences) gold.push_back(s.labels);
+  const size_t k = data::kNumPosTags;
+
+  // Align decoded states to gold tags (Hungarian), then count frequencies.
+  auto aligned_histogram = [&](const bench::PosRun& run) {
+    eval::AlignedAccuracy acc = eval::OneToOneAccuracy(run.decoded, gold, k);
+    linalg::Vector hist(k);
+    for (const auto& path : run.decoded) {
+      for (int s : path) {
+        hist[static_cast<size_t>(acc.mapping[static_cast<size_t>(s)])] += 1.0;
+      }
+    }
+    return hist;
+  };
+
+  linalg::Vector hist_truth = eval::StateHistogram(gold, k);
+  linalg::Vector hist_hmm = aligned_histogram(hmm_run);
+  linalg::Vector hist_dhmm = aligned_histogram(dhmm_run);
+
+  // Sort tags by descending true frequency, as in the paper's x-axis.
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return hist_truth[a] > hist_truth[b]; });
+
+  TextTable table({"rank", "tag", "ground-truth", "HMM", "dHMM"});
+  std::vector<double> xs, t_series, h_series, d_series;
+  for (size_t r = 0; r < k; ++r) {
+    size_t tag = order[r];
+    xs.push_back(static_cast<double>(r + 1));
+    t_series.push_back(hist_truth[tag]);
+    h_series.push_back(hist_hmm[tag]);
+    d_series.push_back(hist_dhmm[tag]);
+    table.AddRow({StrFormat("%zu", r + 1), corpus.tag_names[tag],
+                  StrFormat("%.0f", hist_truth[tag]),
+                  StrFormat("%.0f", hist_hmm[tag]),
+                  StrFormat("%.0f", hist_dhmm[tag])});
+  }
+  table.Print();
+  std::printf("%s\n",
+              AsciiSeriesChart(xs, {t_series, h_series, d_series},
+                               {"truth", "HMM", "dHMM"})
+                  .c_str());
+
+  // Tail fit: total absolute deviation from the true histogram over the 10
+  // least frequent tags (the paper's "less frequent 10 tags" comparison).
+  double dev_hmm = 0.0, dev_dhmm = 0.0;
+  for (size_t r = 5; r < k; ++r) {
+    size_t tag = order[r];
+    dev_hmm += std::fabs(hist_hmm[tag] - hist_truth[tag]);
+    dev_dhmm += std::fabs(hist_dhmm[tag] - hist_truth[tag]);
+  }
+  std::printf("tail (10 rarest tags) L1 deviation from truth: HMM=%.0f  "
+              "dHMM=%.0f\n",
+              dev_hmm, dev_dhmm);
+  std::printf("Expected shape (paper): the dHMM curve follows the skewed "
+              "long-tail truth more closely than the HMM curve, especially "
+              "over the 10 least frequent tags.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Microbenchmarks for the DPP machinery: kernel construction, log-det
+// objective, its gradient (the dHMM M-step inner-loop cost the paper calls
+// "the most time-consuming step ... matrix inversion"), simplex projection,
+// and sampling.
+#include <benchmark/benchmark.h>
+
+#include "dpp/logdet.h"
+#include "dpp/product_kernel.h"
+#include "dpp/sampling.h"
+#include "optim/simplex_projection.h"
+#include "prob/rng.h"
+
+namespace {
+
+using namespace dhmm;
+
+linalg::Matrix RandomRows(size_t k) {
+  prob::Rng rng(k);
+  return rng.RandomStochasticMatrix(k, k, 1.5);
+}
+
+void BM_NormalizedKernel(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  linalg::Matrix a = RandomRows(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpp::NormalizedKernel(a));
+  }
+}
+BENCHMARK(BM_NormalizedKernel)->Arg(5)->Arg(15)->Arg(26)->Arg(50);
+
+void BM_LogDet(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  linalg::Matrix a = RandomRows(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpp::LogDetNormalizedKernel(a));
+  }
+}
+BENCHMARK(BM_LogDet)->Arg(5)->Arg(15)->Arg(26)->Arg(50);
+
+void BM_GradLogDet(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  linalg::Matrix a = RandomRows(k);
+  linalg::Matrix grad;
+  for (auto _ : state) {
+    dpp::GradLogDetNormalizedKernel(a, 0.5, &grad);
+    benchmark::DoNotOptimize(grad);
+  }
+}
+BENCHMARK(BM_GradLogDet)->Arg(5)->Arg(15)->Arg(26)->Arg(50);
+
+void BM_SimplexProjection(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  prob::Rng rng(n);
+  linalg::Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optim::ProjectToSimplex(v));
+  }
+}
+BENCHMARK(BM_SimplexProjection)->Arg(5)->Arg(26)->Arg(100)->Arg(1000);
+
+void BM_SampleKDpp(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  prob::Rng rng(n);
+  linalg::Matrix g(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) g(i, j) = rng.Gaussian();
+  linalg::Matrix l = g.MatMul(g.Transposed());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpp::SampleKDpp(l, n / 2, rng));
+  }
+}
+BENCHMARK(BM_SampleKDpp)->Arg(10)->Arg(26)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

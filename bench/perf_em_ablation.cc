@@ -1,0 +1,100 @@
+// Ablation microbenchmarks for the training loop: the cost of one EM
+// iteration with and without the diversity prior, the penalized transition
+// update itself as alpha varies, and the paper-vs-exact gradient formulas.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dhmm_trainer.h"
+#include "core/transition_update.h"
+#include "dpp/logdet.h"
+#include "hmm/sampler.h"
+#include "hmm/trainer.h"
+#include "prob/categorical_emission.h"
+
+namespace {
+
+using namespace dhmm;
+
+hmm::HmmModel<int> MakeModel(size_t k, size_t v, uint64_t seed) {
+  prob::Rng rng(seed);
+  return hmm::HmmModel<int>(
+      rng.DirichletSymmetric(k, 2.0), rng.RandomStochasticMatrix(k, k, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          prob::CategoricalEmission::RandomInit(k, v, rng)));
+}
+
+void BM_EmIterationPlain(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  hmm::HmmModel<int> truth = MakeModel(k, 30, 1);
+  prob::Rng rng(2);
+  hmm::Dataset<int> data = hmm::SampleDataset(truth, 50, 12, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    hmm::HmmModel<int> model = MakeModel(k, 30, 3);
+    state.ResumeTiming();
+    hmm::EmOptions em;
+    em.max_iters = 1;
+    hmm::FitEm(&model, data, em);
+  }
+}
+BENCHMARK(BM_EmIterationPlain)->Arg(5)->Arg(15)->Arg(26);
+
+void BM_EmIterationDiversified(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  hmm::HmmModel<int> truth = MakeModel(k, 30, 1);
+  prob::Rng rng(2);
+  hmm::Dataset<int> data = hmm::SampleDataset(truth, 50, 12, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    hmm::HmmModel<int> model = MakeModel(k, 30, 3);
+    state.ResumeTiming();
+    core::DiversifiedEmOptions opts;
+    opts.alpha = 10.0;
+    opts.max_iters = 1;
+    core::FitDiversifiedHmm(&model, data, opts);
+  }
+}
+BENCHMARK(BM_EmIterationDiversified)->Arg(5)->Arg(15)->Arg(26);
+
+void BM_TransitionUpdate(benchmark::State& state) {
+  size_t k = 15;
+  double alpha = static_cast<double>(state.range(0));
+  prob::Rng rng(4);
+  linalg::Matrix counts(k, k);
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = 0; j < k; ++j) counts(i, j) = 1.0 + 100.0 * rng.Uniform();
+  linalg::Matrix init = rng.RandomStochasticMatrix(k, k, 1.5);
+  for (auto _ : state) {
+    core::TransitionUpdateOptions opts;
+    opts.alpha = alpha;
+    benchmark::DoNotOptimize(core::UpdateTransitions(init, counts, opts));
+  }
+}
+BENCHMARK(BM_TransitionUpdate)->Arg(0)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_GradientFormula_Exact(benchmark::State& state) {
+  prob::Rng rng(5);
+  linalg::Matrix a = rng.RandomStochasticMatrix(15, 15, 1.5);
+  linalg::Matrix grad;
+  for (auto _ : state) {
+    dpp::GradLogDetNormalizedKernel(a, 0.5, &grad);
+    benchmark::DoNotOptimize(grad);
+  }
+}
+BENCHMARK(BM_GradientFormula_Exact);
+
+void BM_GradientFormula_PaperEq15(benchmark::State& state) {
+  prob::Rng rng(5);
+  linalg::Matrix a = rng.RandomStochasticMatrix(15, 15, 1.5);
+  linalg::Matrix grad;
+  for (auto _ : state) {
+    dpp::PaperGradLogDet(a, &grad);
+    benchmark::DoNotOptimize(grad);
+  }
+}
+BENCHMARK(BM_GradientFormula_PaperEq15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

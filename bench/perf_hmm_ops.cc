@@ -1,0 +1,78 @@
+// Microbenchmarks for the HMM inference kernels: forward-backward and
+// Viterbi scaling in the number of states k and sequence length T.
+#include <benchmark/benchmark.h>
+
+#include "hmm/inference.h"
+#include "prob/rng.h"
+
+namespace {
+
+using namespace dhmm;
+
+struct Chain {
+  linalg::Vector pi;
+  linalg::Matrix a;
+  linalg::Matrix log_b;
+};
+
+Chain MakeChain(size_t k, size_t t) {
+  prob::Rng rng(k * 1000 + t);
+  Chain c;
+  c.pi = rng.DirichletSymmetric(k, 1.5);
+  c.a = rng.RandomStochasticMatrix(k, k, 1.5);
+  c.log_b = linalg::Matrix(t, k);
+  for (size_t i = 0; i < t; ++i) {
+    for (size_t j = 0; j < k; ++j) c.log_b(i, j) = -5.0 * rng.Uniform();
+  }
+  return c;
+}
+
+void BM_ForwardBackward(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  size_t t = static_cast<size_t>(state.range(1));
+  Chain c = MakeChain(k, t);
+  for (auto _ : state) {
+    auto r = hmm::ForwardBackward(c.pi, c.a, c.log_b);
+    benchmark::DoNotOptimize(r.log_likelihood);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t));
+}
+BENCHMARK(BM_ForwardBackward)
+    ->Args({5, 6})      // toy experiment shape
+    ->Args({15, 24})    // PoS experiment shape
+    ->Args({26, 8})     // OCR experiment shape
+    ->Args({15, 250})   // longest paper sentence
+    ->Args({50, 100});  // stress
+
+void BM_Viterbi(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  size_t t = static_cast<size_t>(state.range(1));
+  Chain c = MakeChain(k, t);
+  for (auto _ : state) {
+    auto r = hmm::Viterbi(c.pi, c.a, c.log_b);
+    benchmark::DoNotOptimize(r.log_joint);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t));
+}
+BENCHMARK(BM_Viterbi)
+    ->Args({5, 6})
+    ->Args({15, 24})
+    ->Args({26, 8})
+    ->Args({15, 250})
+    ->Args({50, 100});
+
+void BM_LogLikelihoodOnly(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  size_t t = static_cast<size_t>(state.range(1));
+  Chain c = MakeChain(k, t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm::LogLikelihood(c.pi, c.a, c.log_b));
+  }
+}
+BENCHMARK(BM_LogLikelihoodOnly)->Args({15, 24})->Args({26, 8});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Diagnosing static-mixture collapse — the failure mode the dHMM prior
+// exists to prevent, made measurable. For increasingly flat emissions, we
+// train HMM and dHMM and report:
+//   * MixtureCollapseGap: mean TV distance between rows of A and the chain's
+//     stationary distribution (0 = the HMM is literally a static mixture),
+//   * EntropyRate vs stationary entropy (they coincide under collapse),
+//   * log det K~ (the prior's own diversity measure).
+//
+// Build & run:  ./build/examples/collapse_diagnosis
+#include <cstdio>
+
+#include "core/dhmm_trainer.h"
+#include "data/toy.h"
+#include "dpp/logdet.h"
+#include "hmm/diagnostics.h"
+#include "hmm/sampler.h"
+#include "hmm/trainer.h"
+
+int main() {
+  using namespace dhmm;
+
+  std::printf("%8s | %21s | %21s\n", "", "HMM (Baum-Welch)", "dHMM (alpha=1)");
+  std::printf("%8s | %10s %10s | %10s %10s\n", "sigma", "TV gap", "logdetK",
+              "TV gap", "logdetK");
+  std::printf("-----------------------------------------------------------\n");
+
+  for (double sigma : {0.1, 0.5, 1.0, 2.0, 3.0, 4.0}) {
+    prob::Rng data_rng(7);
+    hmm::Dataset<double> data =
+        data::GenerateToyDataset(sigma, 200, 6, data_rng);
+    prob::Rng init_rng(8);
+    hmm::HmmModel<double> plain = data::ToyRandomInit(init_rng);
+    hmm::HmmModel<double> diverse = plain;
+
+    hmm::EmOptions em;
+    em.max_iters = 40;
+    hmm::FitEm(&plain, data, em);
+
+    core::DiversifiedEmOptions opts;
+    opts.alpha = 1.0;
+    opts.max_iters = 40;
+    core::FitDiversifiedHmm(&diverse, data, opts);
+
+    std::printf("%8.2f | %10.4f %10.4f | %10.4f %10.4f\n", sigma,
+                hmm::MixtureCollapseGap(plain.a),
+                dpp::LogDetNormalizedKernel(plain.a),
+                hmm::MixtureCollapseGap(diverse.a),
+                dpp::LogDetNormalizedKernel(diverse.a));
+  }
+
+  // The collapse identity: when rows coincide, the entropy rate equals the
+  // stationary entropy (knowing the current state tells you nothing).
+  std::printf("\ncollapse identity check (entropy rate vs stationary "
+              "entropy):\n");
+  linalg::Matrix collapsed(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    collapsed(i, 0) = 0.2;
+    collapsed(i, 1) = 0.5;
+    collapsed(i, 2) = 0.3;
+  }
+  linalg::Vector pi = hmm::StationaryDistribution(collapsed);
+  std::printf("  static mixture: entropy rate %.4f, stationary entropy %.4f "
+              "(equal)\n",
+              hmm::EntropyRate(collapsed), hmm::Entropy(pi));
+  linalg::Matrix dynamic{{0.9, 0.05, 0.05}, {0.05, 0.9, 0.05},
+                         {0.05, 0.05, 0.9}};
+  std::printf("  dynamic chain : entropy rate %.4f, stationary entropy %.4f "
+              "(rate far lower)\n",
+              hmm::EntropyRate(dynamic),
+              hmm::Entropy(hmm::StationaryDistribution(dynamic)));
+  std::printf("\nReading: as sigma grows the HMM's TV gap shrinks toward the "
+              "static-mixture regime while the dHMM holds it (and log det "
+              "K~) up — the paper's central claim in diagnostic form.\n");
+  return 0;
+}

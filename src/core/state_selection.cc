@@ -1,0 +1,10 @@
+#include "core/state_selection.h"
+
+namespace dhmm::core {
+
+double FreeParameterCount(size_t k, double emission_params_per_state) {
+  double kd = static_cast<double>(k);
+  return (kd - 1.0) + kd * (kd - 1.0) + kd * emission_params_per_state;
+}
+
+}  // namespace dhmm::core

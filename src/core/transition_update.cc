@@ -1,0 +1,180 @@
+#include "core/transition_update.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dpp/logdet.h"
+#include "optim/simplex_projection.h"
+#include "util/check.h"
+
+namespace dhmm::core {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Projects rows to the simplex, then enforces a strictly positive floor so
+// the count term (C_ij log A_ij with C_ij > 0) stays finite.
+void ProjectFeasible(linalg::Matrix* a, double row_floor) {
+  optim::ProjectRowsToSimplex(a);
+  if (row_floor <= 0.0) return;
+  for (size_t r = 0; r < a->rows(); ++r) {
+    double* row = a->row_data(r);
+    bool clipped = false;
+    for (size_t c = 0; c < a->cols(); ++c) {
+      if (row[c] < row_floor) {
+        row[c] = row_floor;
+        clipped = true;
+      }
+    }
+    if (clipped) {
+      double s = 0.0;
+      for (size_t c = 0; c < a->cols(); ++c) s += row[c];
+      for (size_t c = 0; c < a->cols(); ++c) row[c] /= s;
+    }
+  }
+}
+
+}  // namespace
+
+double TransitionObjective(const linalg::Matrix& a,
+                           const linalg::Matrix& counts,
+                           const TransitionUpdateOptions& options) {
+  DHMM_CHECK(a.rows() == counts.rows() && a.cols() == counts.cols());
+  double obj = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      double c = counts(i, j);
+      if (c == 0.0) continue;
+      DHMM_DCHECK(c > 0.0);
+      if (a(i, j) <= 0.0) return kNegInf;
+      obj += c * std::log(a(i, j));
+    }
+  }
+  if (options.alpha != 0.0) {
+    double ld = dpp::LogDetNormalizedKernel(a, options.rho);
+    if (ld == kNegInf) return kNegInf;
+    obj += options.alpha * ld;
+  }
+  if (options.tether != nullptr && options.tether_weight != 0.0) {
+    obj -= options.tether_weight * a.squared_distance(*options.tether);
+  }
+  return obj;
+}
+
+TransitionUpdateResult UpdateTransitions(
+    const linalg::Matrix& a_init, const linalg::Matrix& counts,
+    const TransitionUpdateOptions& options) {
+  const size_t k = a_init.rows();
+  DHMM_CHECK(a_init.cols() == k);
+  DHMM_CHECK(counts.rows() == k && counts.cols() == k);
+  DHMM_CHECK(options.alpha >= 0.0);
+  DHMM_CHECK(options.tether_weight >= 0.0);
+
+  TransitionUpdateResult result;
+
+  // alpha = 0 and no tether: closed-form ML update (paper's "same as
+  // traditional HMM" case).
+  if (options.alpha == 0.0 &&
+      (options.tether == nullptr || options.tether_weight == 0.0)) {
+    result.a = counts;
+    result.a.NormalizeRows();
+    ProjectFeasible(&result.a, options.row_floor);
+    result.objective = TransitionObjective(result.a, counts, options);
+    result.log_det = dpp::LogDetNormalizedKernel(result.a, options.rho);
+    result.converged = true;
+    return result;
+  }
+
+  // Feasible start: prefer the better of {previous A, ML update}. Starting
+  // from the normalized counts is crucial for conditioning: there the count
+  // gradient C_ij/A_ij is constant within each row, so the simplex projection
+  // cancels it exactly and the ascent only has to trade off the prior terms.
+  linalg::Matrix ml = counts;
+  ml.NormalizeRows();
+  ProjectFeasible(&ml, options.row_floor);
+  linalg::Matrix start = a_init;
+  ProjectFeasible(&start, options.row_floor);
+  {
+    double obj_ml = TransitionObjective(ml, counts, options);
+    double obj_start = TransitionObjective(start, counts, options);
+    if (obj_ml > obj_start || obj_start == kNegInf) start = ml;
+  }
+  double jitter = options.feasibility_jitter;
+  for (int attempt = 0;
+       attempt < 40 && TransitionObjective(start, counts, options) == kNegInf;
+       ++attempt) {
+    const size_t n = start.cols();
+    for (size_t i = 0; i < start.rows(); ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        // Deterministic, row-dependent perturbation: tilt row i toward its
+        // (i mod n)-th corner. Distinct tilts separate coincident rows.
+        double bump = (j == i % n) ? jitter : 0.0;
+        start(i, j) = (start(i, j) + bump) / (1.0 + jitter);
+      }
+    }
+    jitter *= 2.0;
+  }
+  DHMM_CHECK_MSG(TransitionObjective(start, counts, options) > kNegInf,
+                 "could not find a feasible starting transition matrix");
+
+  auto objective = [&](const linalg::Matrix& a) {
+    return TransitionObjective(a, counts, options);
+  };
+  auto gradient = [&](const linalg::Matrix& a, linalg::Matrix* grad) {
+    // Raw Euclidean gradient g of the objective (Eq. 15 / Eq. 18).
+    linalg::Matrix g(k, k);
+    // Count term: C_ij / A_ij.
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (counts(i, j) > 0.0) {
+          DHMM_DCHECK(a(i, j) > 0.0);
+          g(i, j) = counts(i, j) / a(i, j);
+        }
+      }
+    }
+    // Diversity term: alpha * grad log det K~.
+    if (options.alpha != 0.0) {
+      linalg::Matrix dpp_grad;
+      if (!dpp::GradLogDetNormalizedKernel(a, options.rho, &dpp_grad)) {
+        return false;
+      }
+      g += dpp_grad * options.alpha;
+    }
+    // Tether term: -2 alpha_A (A - A0) (Eq. 18 last term).
+    if (options.tether != nullptr && options.tether_weight != 0.0) {
+      g += (*options.tether - a) * (2.0 * options.tether_weight);
+    }
+    // Natural-gradient (replicator) direction on the simplex:
+    //   d_ij = A_ij * (g_ij - sum_m A_im g_im).
+    // Same fixed points as the Euclidean projected gradient (at a KKT point
+    // g is constant on each row's support, so d = 0), but globally bounded:
+    // the count term contributes A_ij * C_ij/A_ij = C_ij even when simplex
+    // projection has floored an entry, where the raw C/A gradient explodes
+    // and freezes a plain projected-gradient ascent.
+    *grad = linalg::Matrix(k, k);
+    for (size_t i = 0; i < k; ++i) {
+      double row_mean = 0.0;
+      for (size_t j = 0; j < k; ++j) row_mean += a(i, j) * g(i, j);
+      for (size_t j = 0; j < k; ++j) {
+        (*grad)(i, j) = a(i, j) * (g(i, j) - row_mean);
+      }
+    }
+    return true;
+  };
+  auto project = [&](linalg::Matrix* a) {
+    ProjectFeasible(a, options.row_floor);
+  };
+
+  optim::ProjectedGradientResult pg = optim::ProjectedGradientAscent(
+      start, objective, gradient, project, options.ascent);
+
+  result.a = std::move(pg.argmax);
+  result.objective = pg.objective;
+  result.log_det = dpp::LogDetNormalizedKernel(result.a, options.rho);
+  result.iterations = pg.iterations;
+  result.converged = pg.converged;
+  return result;
+}
+
+}  // namespace dhmm::core

@@ -1,0 +1,65 @@
+// The dHMM transition-matrix update (paper Algorithm 1, Eqs. 13-18).
+//
+// Maximizes over row-stochastic A:
+//   F(A) = sum_ij C_ij log A_ij                 (expected/observed counts)
+//        + alpha * log det K~_A                 (DPP diversity prior, Eq. 6)
+//        - tether_weight * ||A - A0||_F^2       (supervised drift penalty, Eq. 8)
+// by projected gradient ascent with adaptive step size and per-row Euclidean
+// simplex projection (Eq. 17).
+#ifndef DHMM_CORE_TRANSITION_UPDATE_H_
+#define DHMM_CORE_TRANSITION_UPDATE_H_
+
+#include "linalg/matrix.h"
+#include "optim/projected_gradient.h"
+
+namespace dhmm::core {
+
+/// Options for the penalized transition update.
+struct TransitionUpdateOptions {
+  /// Diversity weight alpha; 0 short-circuits to the ML update (normalized
+  /// counts), exactly recovering Baum-Welch.
+  double alpha = 1.0;
+  /// Product-kernel exponent; the paper fixes 0.5.
+  double rho = 0.5;
+  /// Tether matrix A0 and weight alpha_A for the supervised objective
+  /// (Eq. 8). tether must outlive the call; nullptr disables the term.
+  const linalg::Matrix* tether = nullptr;
+  double tether_weight = 0.0;
+  /// Entries are kept >= row_floor (renormalized) after projection so that
+  /// the count term stays finite and kernel gradients stay bounded.
+  double row_floor = 1e-10;
+  /// Inner projected-gradient-ascent controls (Algorithm 1's loop).
+  optim::ProjectedGradientOptions ascent;
+  /// When the starting A has (numerically) coincident rows the prior is -inf;
+  /// the update mixes in this much uniform noise to restore feasibility.
+  double feasibility_jitter = 1e-3;
+};
+
+/// Diagnostics from one update.
+struct TransitionUpdateResult {
+  linalg::Matrix a;          ///< the updated transition matrix
+  double objective = 0.0;    ///< F(a)
+  double log_det = 0.0;      ///< log det K~ at a
+  int iterations = 0;        ///< accepted ascent steps
+  bool converged = false;
+};
+
+/// \brief The penalized objective F(A) itself (for tests and diagnostics).
+/// Returns -inf outside the feasible region (zero prob where C > 0, or a
+/// singular kernel).
+double TransitionObjective(const linalg::Matrix& a,
+                           const linalg::Matrix& counts,
+                           const TransitionUpdateOptions& options);
+
+/// \brief Runs the update starting from `a_init` (rows on the simplex).
+///
+/// \param counts  k x k non-negative transition counts C (expected counts in
+///                the unsupervised M-step; hard counts in the supervised
+///                objective).
+TransitionUpdateResult UpdateTransitions(const linalg::Matrix& a_init,
+                                         const linalg::Matrix& counts,
+                                         const TransitionUpdateOptions& options);
+
+}  // namespace dhmm::core
+
+#endif  // DHMM_CORE_TRANSITION_UPDATE_H_

@@ -1,0 +1,51 @@
+#include "data/toy.h"
+
+#include <memory>
+
+#include "hmm/sampler.h"
+
+namespace dhmm::data {
+
+ToyParams ToyGroundTruth(double sigma) {
+  DHMM_CHECK(sigma > 0.0);
+  ToyParams p;
+  p.pi = linalg::Vector{0.0101, 0.0912, 0.2421, 0.0652, 0.5914};
+  // Cyclic-dominant rows: state i prefers state (i+1) mod 5. Average pairwise
+  // Bhattacharyya distance ~0.53, matching the paper's ground-truth line.
+  p.a = linalg::Matrix{
+      {0.0250, 0.7500, 0.1100, 0.0700, 0.0450},
+      {0.0450, 0.0250, 0.7500, 0.1100, 0.0700},
+      {0.0700, 0.0450, 0.0250, 0.7500, 0.1100},
+      {0.1100, 0.0700, 0.0450, 0.0250, 0.7500},
+      {0.7500, 0.1100, 0.0700, 0.0450, 0.0250},
+  };
+  p.mu = linalg::Vector{1.0, 2.0, 3.0, 4.0, 5.0};
+  p.sigma = linalg::Vector(kToyStates, sigma);
+  return p;
+}
+
+hmm::HmmModel<double> ToyGroundTruthModel(double sigma) {
+  ToyParams p = ToyGroundTruth(sigma);
+  return hmm::HmmModel<double>(
+      p.pi, p.a, std::make_unique<prob::GaussianEmission>(p.mu, p.sigma));
+}
+
+hmm::Dataset<double> GenerateToyDataset(double sigma, size_t num_sequences,
+                                        size_t length, prob::Rng& rng) {
+  hmm::HmmModel<double> model = ToyGroundTruthModel(sigma);
+  return hmm::SampleDataset(model, num_sequences, length, rng);
+}
+
+hmm::HmmModel<double> ToyRandomInit(prob::Rng& rng,
+                                    double dirichlet_concentration) {
+  linalg::Vector pi = rng.DirichletSymmetric(kToyStates,
+                                             dirichlet_concentration);
+  linalg::Matrix a = rng.RandomStochasticMatrix(kToyStates, kToyStates,
+                                                dirichlet_concentration);
+  auto emission = std::make_unique<prob::GaussianEmission>(
+      prob::GaussianEmission::RandomInit(kToyStates, rng));
+  return hmm::HmmModel<double>(std::move(pi), std::move(a),
+                               std::move(emission));
+}
+
+}  // namespace dhmm::data

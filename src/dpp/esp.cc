@@ -1,0 +1,38 @@
+#include "dpp/esp.h"
+
+#include "linalg/matrix.h"
+#include "util/check.h"
+
+namespace dhmm::dpp {
+
+linalg::Vector ElementarySymmetric(const linalg::Vector& values,
+                                   size_t max_k) {
+  DHMM_CHECK(max_k <= values.size());
+  linalg::Vector e(max_k + 1);
+  e[0] = 1.0;
+  for (size_t n = 0; n < values.size(); ++n) {
+    // Descending j so each value is used at most once.
+    size_t top = max_k < n + 1 ? max_k : n + 1;
+    for (size_t j = top; j >= 1; --j) {
+      e[j] += values[n] * e[j - 1];
+    }
+  }
+  return e;
+}
+
+linalg::Matrix ElementarySymmetricTable(const linalg::Vector& values,
+                                        size_t max_k) {
+  DHMM_CHECK(max_k <= values.size());
+  const size_t n = values.size();
+  linalg::Matrix table(max_k + 1, n + 1);
+  for (size_t c = 0; c <= n; ++c) table(0, c) = 1.0;
+  for (size_t j = 1; j <= max_k; ++j) {
+    table(j, 0) = 0.0;
+    for (size_t c = 1; c <= n; ++c) {
+      table(j, c) = table(j, c - 1) + values[c - 1] * table(j - 1, c - 1);
+    }
+  }
+  return table;
+}
+
+}  // namespace dhmm::dpp

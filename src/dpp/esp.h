@@ -1,0 +1,27 @@
+// Elementary symmetric polynomials e_k(lambda) — the k-DPP normalizer (Eq. 1).
+#ifndef DHMM_DPP_ESP_H_
+#define DHMM_DPP_ESP_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::dpp {
+
+/// \brief All elementary symmetric polynomials e_0..e_max_k of the inputs.
+///
+/// e_0 = 1, e_k = sum over k-subsets of products. Standard O(n * max_k)
+/// dynamic program (Kulesza & Taskar, Algorithm 7).
+linalg::Vector ElementarySymmetric(const linalg::Vector& values,
+                                   size_t max_k);
+
+/// \brief The full table E where E(j, n) = e_j(values[0..n-1]).
+///
+/// Needed by the k-DPP eigenvector-selection sampler (Algorithm 8): the
+/// inclusion probability of eigenvalue n at remaining budget j is
+/// lambda_n * E(j-1, n-1) / E(j, n).
+linalg::Matrix ElementarySymmetricTable(const linalg::Vector& values,
+                                        size_t max_k);
+
+}  // namespace dhmm::dpp
+
+#endif  // DHMM_DPP_ESP_H_

@@ -1,0 +1,102 @@
+#include "dpp/logdet.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/lu.h"
+#include "util/check.h"
+
+namespace dhmm::dpp {
+
+double LogDetNormalizedKernel(const linalg::Matrix& rows, double rho) {
+  linalg::Matrix kernel = NormalizedKernel(rows, rho);
+  linalg::LuDecomposition lu(kernel);
+  if (lu.IsSingular() || lu.DeterminantSign() <= 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return lu.LogAbsDeterminant();
+}
+
+bool GradLogDetNormalizedKernel(const linalg::Matrix& rows, double rho,
+                                linalg::Matrix* grad) {
+  DHMM_CHECK(grad != nullptr);
+  DHMM_CHECK(rho > 0.0);
+  const size_t k = rows.rows();
+  const size_t d = rows.cols();
+  *grad = linalg::Matrix(k, d);
+
+  // P_ij = max(A_ij, floor)^rho ; K = P P^T (unnormalized kernel).
+  linalg::Matrix powed(k, d);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t x = 0; x < d; ++x) {
+      double v = rows(i, x);
+      powed(i, x) = std::pow(v < kProbFloor ? kProbFloor : v, rho);
+    }
+  }
+  linalg::Matrix kernel(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i; j < k; ++j) {
+      double s = 0.0;
+      for (size_t x = 0; x < d; ++x) s += powed(i, x) * powed(j, x);
+      kernel(i, j) = s;
+      kernel(j, i) = s;
+    }
+  }
+
+  linalg::LuDecomposition lu(kernel);
+  if (lu.IsSingular() || lu.DeterminantSign() <= 0) {
+    return false;
+  }
+  linalg::Matrix kinv = lu.Inverse();
+  // M = K^{-1} P  (K symmetric, so this equals the needed sum over n).
+  linalg::Matrix m = kinv.MatMul(powed);
+
+  for (size_t i = 0; i < k; ++i) {
+    const double kii = kernel(i, i);
+    for (size_t j = 0; j < d; ++j) {
+      double a = rows(i, j);
+      if (a < kProbFloor) {
+        (*grad)(i, j) = 0.0;  // flat (floored) region of the kernel
+        continue;
+      }
+      double p = powed(i, j);
+      (*grad)(i, j) =
+          2.0 * rho * std::pow(a, rho - 1.0) * (m(i, j) - p / kii);
+    }
+  }
+  return true;
+}
+
+bool PaperGradLogDet(const linalg::Matrix& rows, linalg::Matrix* grad) {
+  DHMM_CHECK(grad != nullptr);
+  const size_t k = rows.rows();
+  const size_t d = rows.cols();
+  *grad = linalg::Matrix(k, d);
+
+  linalg::Matrix kernel = NormalizedKernel(rows, /*rho=*/0.5);
+  linalg::LuDecomposition lu(kernel);
+  if (lu.IsSingular() || lu.DeterminantSign() <= 0) {
+    return false;
+  }
+  linalg::Matrix kinv = lu.Inverse();
+
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double aij = rows(i, j);
+      if (aij < kProbFloor) {
+        (*grad)(i, j) = 0.0;
+        continue;
+      }
+      double s = 0.0;
+      for (size_t mrow = 0; mrow < k; ++mrow) {
+        double amj = rows(mrow, j);
+        if (amj < kProbFloor) amj = kProbFloor;
+        s += kinv(mrow, i) * std::sqrt(amj);
+      }
+      (*grad)(i, j) = 0.5 * s / std::sqrt(aij);
+    }
+  }
+  return true;
+}
+
+}  // namespace dhmm::dpp

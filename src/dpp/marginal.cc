@@ -1,0 +1,70 @@
+#include "dpp/marginal.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "util/check.h"
+
+namespace dhmm::dpp {
+
+linalg::Matrix MarginalKernel(const linalg::Matrix& l_kernel) {
+  DHMM_CHECK(l_kernel.rows() == l_kernel.cols());
+  const size_t n = l_kernel.rows();
+  linalg::Matrix l_plus_i = l_kernel + linalg::Matrix::Identity(n);
+  linalg::LuDecomposition lu(l_plus_i);
+  DHMM_CHECK_MSG(!lu.IsSingular(), "L + I must be invertible (L PSD)");
+  // K = L (L+I)^{-1} = I - (L+I)^{-1}.
+  linalg::Matrix inv = lu.Inverse();
+  linalg::Matrix k = linalg::Matrix::Identity(n) - inv;
+  // Symmetrize against roundoff.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = 0.5 * (k(i, j) + k(j, i));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+linalg::Vector InclusionProbabilities(const linalg::Matrix& l_kernel) {
+  linalg::Matrix k = MarginalKernel(l_kernel);
+  linalg::Vector p(k.rows());
+  for (size_t i = 0; i < k.rows(); ++i) p[i] = k(i, i);
+  return p;
+}
+
+double PairInclusionProbability(const linalg::Matrix& marginal_kernel,
+                                size_t i, size_t j) {
+  DHMM_CHECK(i < marginal_kernel.rows() && j < marginal_kernel.rows());
+  DHMM_CHECK(i != j);
+  return marginal_kernel(i, i) * marginal_kernel(j, j) -
+         marginal_kernel(i, j) * marginal_kernel(i, j);
+}
+
+double ExpectedCardinality(const linalg::Matrix& l_kernel) {
+  linalg::Matrix k = MarginalKernel(l_kernel);
+  double trace = 0.0;
+  for (size_t i = 0; i < k.rows(); ++i) trace += k(i, i);
+  return trace;
+}
+
+double DppLogProb(const linalg::Matrix& l_kernel,
+                  const std::vector<size_t>& subset) {
+  DHMM_CHECK(l_kernel.rows() == l_kernel.cols());
+  const size_t n = l_kernel.rows();
+  const size_t m = subset.size();
+  double log_z = linalg::LogAbsDeterminant(
+      l_kernel + linalg::Matrix::Identity(n));
+  if (m == 0) return -log_z;  // det of the empty minor is 1
+  linalg::Matrix sub(m, m);
+  for (size_t a = 0; a < m; ++a) {
+    DHMM_CHECK(subset[a] < n);
+    for (size_t b = 0; b < m; ++b) {
+      sub(a, b) = l_kernel(subset[a], subset[b]);
+    }
+  }
+  return linalg::LogAbsDeterminant(sub) - log_z;
+}
+
+}  // namespace dhmm::dpp

@@ -1,0 +1,60 @@
+#include "dpp/product_kernel.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dhmm::dpp {
+
+linalg::Matrix ProductKernel(const linalg::Matrix& rows, double rho) {
+  DHMM_CHECK(rho > 0.0);
+  const size_t k = rows.rows();
+  const size_t d = rows.cols();
+  // Precompute rows raised to rho with flooring.
+  linalg::Matrix powed(k, d);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t x = 0; x < d; ++x) {
+      double v = rows(i, x);
+      if (v < kProbFloor) v = kProbFloor;
+      powed(i, x) = std::pow(v, rho);
+    }
+  }
+  linalg::Matrix kernel(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i; j < k; ++j) {
+      double s = 0.0;
+      const double* pi = powed.row_data(i);
+      const double* pj = powed.row_data(j);
+      for (size_t x = 0; x < d; ++x) s += pi[x] * pj[x];
+      kernel(i, j) = s;
+      kernel(j, i) = s;
+    }
+  }
+  return kernel;
+}
+
+void NormalizeKernel(linalg::Matrix* kernel) {
+  DHMM_CHECK(kernel != nullptr && kernel->rows() == kernel->cols());
+  const size_t k = kernel->rows();
+  linalg::Vector inv_sqrt_diag(k);
+  for (size_t i = 0; i < k; ++i) {
+    double d = (*kernel)(i, i);
+    DHMM_CHECK_MSG(d > 0.0, "kernel diagonal must be positive");
+    inv_sqrt_diag[i] = 1.0 / std::sqrt(d);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      (*kernel)(i, j) *= inv_sqrt_diag[i] * inv_sqrt_diag[j];
+    }
+  }
+  // Pin the diagonal at exactly 1 against roundoff.
+  for (size_t i = 0; i < k; ++i) (*kernel)(i, i) = 1.0;
+}
+
+linalg::Matrix NormalizedKernel(const linalg::Matrix& rows, double rho) {
+  linalg::Matrix kernel = ProductKernel(rows, rho);
+  NormalizeKernel(&kernel);
+  return kernel;
+}
+
+}  // namespace dhmm::dpp

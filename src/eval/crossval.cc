@@ -1,0 +1,24 @@
+#include "eval/crossval.h"
+
+#include "util/check.h"
+
+namespace dhmm::eval {
+
+std::vector<Fold> KFoldSplit(size_t n, size_t k, prob::Rng& rng) {
+  DHMM_CHECK(k >= 2 && k <= n);
+  std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<Fold> folds(k);
+  // Test-fold membership for index perm[i] is i % k; others go to train.
+  for (size_t f = 0; f < k; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i % k == f) {
+        folds[f].test.push_back(perm[i]);
+      } else {
+        folds[f].train.push_back(perm[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace dhmm::eval

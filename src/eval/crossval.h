@@ -1,0 +1,33 @@
+// K-fold cross-validation splitting (the OCR experiments use 10-fold CV).
+#ifndef DHMM_EVAL_CROSSVAL_H_
+#define DHMM_EVAL_CROSSVAL_H_
+
+#include <vector>
+
+#include "prob/rng.h"
+
+namespace dhmm::eval {
+
+/// One train/test split by example index.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// \brief Shuffled k-fold split of n examples. Every index appears in exactly
+/// one test fold; folds differ in size by at most one.
+std::vector<Fold> KFoldSplit(size_t n, size_t k, prob::Rng& rng);
+
+/// Gathers the subset of a dataset selected by indices.
+template <typename T>
+std::vector<T> Subset(const std::vector<T>& data,
+                      const std::vector<size_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(data[i]);
+  return out;
+}
+
+}  // namespace dhmm::eval
+
+#endif  // DHMM_EVAL_CROSSVAL_H_

@@ -1,0 +1,74 @@
+#include "eval/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dhmm::eval {
+
+double BhattacharyyaCoefficient(const linalg::Vector& p,
+                                const linalg::Vector& q) {
+  DHMM_CHECK(p.size() == q.size());
+  double s = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    DHMM_DCHECK(p[i] >= 0.0 && q[i] >= 0.0);
+    s += std::sqrt(p[i] * q[i]);
+  }
+  return s;
+}
+
+double BhattacharyyaDistance(const linalg::Vector& p,
+                             const linalg::Vector& q) {
+  double bc = BhattacharyyaCoefficient(p, q);
+  // Clamp: identical distributions can give 1 + 1e-16 by roundoff.
+  bc = std::clamp(bc, 1e-300, 1.0);
+  return -std::log(bc);
+}
+
+double CosineDistance(const linalg::Vector& p, const linalg::Vector& q) {
+  DHMM_CHECK(p.size() == q.size());
+  double np = p.norm(), nq = q.norm();
+  DHMM_CHECK_MSG(np > 0.0 && nq > 0.0, "cosine distance needs nonzero rows");
+  double cos = p.dot(q) / (np * nq);
+  return 1.0 - std::clamp(cos, -1.0, 1.0);
+}
+
+double RowDistance(const linalg::Matrix& a, size_t i, size_t j,
+                   DiversityMeasure measure) {
+  switch (measure) {
+    case DiversityMeasure::kBhattacharyya:
+      return BhattacharyyaDistance(a.Row(i), a.Row(j));
+    case DiversityMeasure::kCosine:
+      return CosineDistance(a.Row(i), a.Row(j));
+  }
+  DHMM_CHECK_MSG(false, "unknown diversity measure");
+  return 0.0;
+}
+
+double AveragePairwiseDiversity(const linalg::Matrix& a,
+                                DiversityMeasure measure) {
+  const size_t k = a.rows();
+  DHMM_CHECK(k >= 2);
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      total += RowDistance(a, i, j, measure);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+linalg::Vector RowDiversityProfile(const linalg::Matrix& a, size_t row,
+                                   DiversityMeasure measure) {
+  DHMM_CHECK(row < a.rows());
+  linalg::Vector out(a.rows());
+  for (size_t j = 0; j < a.rows(); ++j) {
+    out[j] = j == row ? 0.0 : RowDistance(a, row, j, measure);
+  }
+  return out;
+}
+
+}  // namespace dhmm::eval

@@ -1,0 +1,46 @@
+// Diversity measures over the rows of a stochastic matrix (Figs. 3, 8, 12).
+#ifndef DHMM_EVAL_DIVERSITY_H_
+#define DHMM_EVAL_DIVERSITY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::eval {
+
+/// Which pairwise distance quantifies "diversity" between two rows.
+/// The paper's text uses the Bhattacharyya distance; Fig. 3's axis label says
+/// cosine distance — both are provided and produce the same orderings.
+enum class DiversityMeasure {
+  kBhattacharyya,
+  kCosine,
+};
+
+/// \brief Bhattacharyya coefficient BC(p, q) = sum_i sqrt(p_i q_i), in [0,1]
+/// for distributions; 1 iff p == q.
+double BhattacharyyaCoefficient(const linalg::Vector& p,
+                                const linalg::Vector& q);
+
+/// \brief Bhattacharyya distance -log BC(p, q) (0 when identical).
+double BhattacharyyaDistance(const linalg::Vector& p, const linalg::Vector& q);
+
+/// \brief Cosine distance 1 - <p, q> / (|p| |q|).
+double CosineDistance(const linalg::Vector& p, const linalg::Vector& q);
+
+/// Pairwise row distance under the chosen measure.
+double RowDistance(const linalg::Matrix& a, size_t i, size_t j,
+                   DiversityMeasure measure);
+
+/// \brief Average pairwise distance over all row pairs (the Fig. 3 metric).
+double AveragePairwiseDiversity(
+    const linalg::Matrix& a,
+    DiversityMeasure measure = DiversityMeasure::kBhattacharyya);
+
+/// \brief Distances from one row to every other row (Figs. 8, 12): entry j is
+/// the distance between rows `row` and j; entry `row` itself is 0.
+linalg::Vector RowDiversityProfile(
+    const linalg::Matrix& a, size_t row,
+    DiversityMeasure measure = DiversityMeasure::kBhattacharyya);
+
+}  // namespace dhmm::eval
+
+#endif  // DHMM_EVAL_DIVERSITY_H_

@@ -1,0 +1,113 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "eval/hungarian.h"
+#include "util/check.h"
+
+namespace dhmm::eval {
+
+linalg::Matrix BuildConfusion(const LabelSequences& predicted,
+                              const LabelSequences& gold, size_t k) {
+  DHMM_CHECK(predicted.size() == gold.size());
+  linalg::Matrix confusion(k, k);
+  for (size_t s = 0; s < predicted.size(); ++s) {
+    DHMM_CHECK(predicted[s].size() == gold[s].size());
+    for (size_t t = 0; t < predicted[s].size(); ++t) {
+      int p = predicted[s][t];
+      int g = gold[s][t];
+      DHMM_CHECK(p >= 0 && static_cast<size_t>(p) < k);
+      DHMM_CHECK(g >= 0 && static_cast<size_t>(g) < k);
+      confusion(static_cast<size_t>(p), static_cast<size_t>(g)) += 1.0;
+    }
+  }
+  return confusion;
+}
+
+AlignedAccuracy OneToOneAccuracy(const LabelSequences& predicted,
+                                 const LabelSequences& gold, size_t k) {
+  linalg::Matrix confusion = BuildConfusion(predicted, gold, k);
+  double total = confusion.sum();
+  DHMM_CHECK_MSG(total > 0.0, "no frames to score");
+  AlignedAccuracy out;
+  out.mapping = SolveMaxAssignment(confusion);
+  double correct = 0.0;
+  for (size_t p = 0; p < k; ++p) {
+    correct += confusion(p, static_cast<size_t>(out.mapping[p]));
+  }
+  out.accuracy = correct / total;
+  return out;
+}
+
+AlignedAccuracy ManyToOneAccuracy(const LabelSequences& predicted,
+                                  const LabelSequences& gold, size_t k) {
+  linalg::Matrix confusion = BuildConfusion(predicted, gold, k);
+  double total = confusion.sum();
+  DHMM_CHECK_MSG(total > 0.0, "no frames to score");
+  AlignedAccuracy out;
+  out.mapping.resize(k);
+  double correct = 0.0;
+  for (size_t p = 0; p < k; ++p) {
+    size_t best = p;
+    double best_count = -1.0;
+    for (size_t g = 0; g < k; ++g) {
+      if (confusion(p, g) > best_count) {
+        best_count = confusion(p, g);
+        best = g;
+      }
+    }
+    out.mapping[p] = static_cast<int>(best);
+    correct += best_count;
+  }
+  out.accuracy = correct / total;
+  return out;
+}
+
+double FrameAccuracy(const LabelSequences& predicted,
+                     const LabelSequences& gold) {
+  DHMM_CHECK(predicted.size() == gold.size());
+  size_t total = 0, correct = 0;
+  for (size_t s = 0; s < predicted.size(); ++s) {
+    DHMM_CHECK(predicted[s].size() == gold[s].size());
+    for (size_t t = 0; t < predicted[s].size(); ++t) {
+      ++total;
+      if (predicted[s][t] == gold[s][t]) ++correct;
+    }
+  }
+  DHMM_CHECK(total > 0);
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+linalg::Vector StateHistogram(const LabelSequences& labels, size_t k) {
+  linalg::Vector hist(k);
+  for (const auto& seq : labels) {
+    for (int s : seq) {
+      DHMM_CHECK(s >= 0 && static_cast<size_t>(s) < k);
+      hist[static_cast<size_t>(s)] += 1.0;
+    }
+  }
+  return hist;
+}
+
+int CountEffectiveStates(const linalg::Vector& histogram, double threshold) {
+  int count = 0;
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    if (histogram[i] >= threshold) ++count;
+  }
+  return count;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  DHMM_CHECK(!values.empty());
+  MeanStd out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - out.mean) * (v - out.mean);
+    out.std = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace dhmm::eval

@@ -1,0 +1,56 @@
+// Sequential-labeling accuracy metrics and state statistics.
+#ifndef DHMM_EVAL_METRICS_H_
+#define DHMM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::eval {
+
+/// Frame-aligned predicted and gold label sequences.
+using LabelSequences = std::vector<std::vector<int>>;
+
+/// \brief Confusion counts: confusion(p, g) = #frames predicted p, gold g.
+linalg::Matrix BuildConfusion(const LabelSequences& predicted,
+                              const LabelSequences& gold, size_t k);
+
+/// Result of an aligned accuracy computation.
+struct AlignedAccuracy {
+  double accuracy = 0.0;       ///< fraction of frames correct after mapping
+  std::vector<int> mapping;    ///< mapping[predicted_state] = gold_state
+};
+
+/// \brief 1-to-1 accuracy: the best bijective relabeling of predicted states,
+/// found with the Hungarian algorithm on the confusion matrix (the paper's
+/// measure for the toy and PoS experiments).
+AlignedAccuracy OneToOneAccuracy(const LabelSequences& predicted,
+                                 const LabelSequences& gold, size_t k);
+
+/// \brief Many-to-1 accuracy: each predicted state maps to its most frequent
+/// gold label (the laxer standard PoS measure, reported alongside).
+AlignedAccuracy ManyToOneAccuracy(const LabelSequences& predicted,
+                                  const LabelSequences& gold, size_t k);
+
+/// \brief Plain per-frame accuracy without relabeling (supervised setting).
+double FrameAccuracy(const LabelSequences& predicted,
+                     const LabelSequences& gold);
+
+/// \brief Frequency of each state in a set of label sequences (Fig. 4).
+linalg::Vector StateHistogram(const LabelSequences& labels, size_t k);
+
+/// \brief Number of states whose frequency reaches `threshold` (Fig. 5's
+/// "#states identified with sigma_F").
+int CountEffectiveStates(const linalg::Vector& histogram, double threshold);
+
+/// Mean and standard deviation of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace dhmm::eval
+
+#endif  // DHMM_EVAL_METRICS_H_

@@ -1,0 +1,63 @@
+#include "hmm/diagnostics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dhmm::hmm {
+
+linalg::Vector StationaryDistribution(const linalg::Matrix& a, int max_iters,
+                                      double tol, double damping) {
+  DHMM_CHECK(a.rows() == a.cols());
+  DHMM_CHECK_MSG(a.IsRowStochastic(1e-6), "A must be row-stochastic");
+  const size_t k = a.rows();
+  linalg::Vector pi(k, 1.0 / static_cast<double>(k));
+  linalg::Vector next(k);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // next = pi A, damped toward uniform.
+    for (size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (size_t i = 0; i < k; ++i) s += pi[i] * a(i, j);
+      next[j] = (1.0 - damping) * s + damping / static_cast<double>(k);
+    }
+    double delta = 0.0;
+    for (size_t j = 0; j < k; ++j) delta += std::fabs(next[j] - pi[j]);
+    pi = next;
+    if (delta < tol) break;
+  }
+  pi.NormalizeToSimplex();
+  return pi;
+}
+
+double Entropy(const linalg::Vector& p) {
+  double h = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    DHMM_DCHECK(p[i] >= -1e-12);
+    if (p[i] > 0.0) h -= p[i] * std::log(p[i]);
+  }
+  return h;
+}
+
+double EntropyRate(const linalg::Matrix& a) {
+  linalg::Vector pi = StationaryDistribution(a);
+  double h = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    h += pi[i] * Entropy(a.Row(i));
+  }
+  return h;
+}
+
+double MixtureCollapseGap(const linalg::Matrix& a) {
+  linalg::Vector pi = StationaryDistribution(a);
+  double total = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double tv = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) {
+      tv += std::fabs(a(i, j) - pi[j]);
+    }
+    total += 0.5 * tv;
+  }
+  return total / static_cast<double>(a.rows());
+}
+
+}  // namespace dhmm::hmm

@@ -1,0 +1,42 @@
+// Chain diagnostics: stationary distribution, entropy rate, mixing measures.
+//
+// The related work the paper builds on constrains transition estimates via
+// their stationary distribution (Wang & Schuurmans [50]); these utilities
+// expose that quantity (and standard information measures) for any trained
+// model, and power the analysis examples.
+#ifndef DHMM_HMM_DIAGNOSTICS_H_
+#define DHMM_HMM_DIAGNOSTICS_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::hmm {
+
+/// \brief Stationary distribution of a row-stochastic matrix by power
+/// iteration: the left eigenvector pi A = pi with pi on the simplex.
+///
+/// Requires an ergodic chain to be unique; for reducible/periodic chains the
+/// iteration is damped (pi <- (1-eps) pi A + eps uniform) so it always
+/// converges to the damped chain's unique stationary point.
+linalg::Vector StationaryDistribution(const linalg::Matrix& a,
+                                      int max_iters = 10000,
+                                      double tol = 1e-12,
+                                      double damping = 1e-8);
+
+/// \brief Entropy rate of the chain: H = -sum_i pi_i sum_j A_ij log A_ij
+/// (nats/step). A "static mixture" collapse shows up as the entropy rate
+/// approaching the entropy of the stationary distribution itself.
+double EntropyRate(const linalg::Matrix& a);
+
+/// \brief Entropy of a distribution (nats). 0 log 0 = 0.
+double Entropy(const linalg::Vector& p);
+
+/// \brief Row-averaged total-variation distance between the rows of A and
+/// the chain's stationary distribution — 0 exactly when the HMM has
+/// degenerated into a static mixture (every row equals pi), large when the
+/// current state strongly conditions the next state.
+double MixtureCollapseGap(const linalg::Matrix& a);
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_DIAGNOSTICS_H_

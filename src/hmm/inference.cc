@@ -1,0 +1,204 @@
+#include "hmm/inference.h"
+
+#include <cmath>
+
+#include "prob/logsumexp.h"
+#include "util/check.h"
+
+namespace dhmm::hmm {
+
+namespace {
+
+// Shifted emission probabilities for frame t: btilde(i) = exp(logb_i - m_t).
+// Returns the shift m_t. At least one entry of btilde is exactly 1.
+double ShiftedEmissions(const linalg::Matrix& log_b, size_t t,
+                        linalg::Vector* btilde) {
+  const size_t k = log_b.cols();
+  double m = prob::kNegInf;
+  for (size_t i = 0; i < k; ++i) m = std::max(m, log_b(t, i));
+  DHMM_CHECK_MSG(m != prob::kNegInf,
+                 "frame has zero emission probability in every state");
+  for (size_t i = 0; i < k; ++i) {
+    (*btilde)[i] = std::exp(log_b(t, i) - m);
+  }
+  return m;
+}
+
+}  // namespace
+
+ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const linalg::Matrix& log_b) {
+  const size_t k = pi.size();
+  const size_t big_t = log_b.rows();
+  DHMM_CHECK(a.rows() == k && a.cols() == k);
+  DHMM_CHECK(log_b.cols() == k);
+  DHMM_CHECK_MSG(big_t > 0, "empty sequence");
+
+  ForwardBackwardResult out;
+  out.gamma = linalg::Matrix(big_t, k);
+  out.xi_sum = linalg::Matrix(k, k);
+
+  // Forward pass with per-step normalization (scale c_t) and per-frame
+  // emission shifts m_t: log P(Y) = sum_t (log c_t + m_t).
+  linalg::Matrix alpha_hat(big_t, k);
+  linalg::Vector scale(big_t);
+  linalg::Vector btilde(k);
+  double loglik = 0.0;
+
+  double m = ShiftedEmissions(log_b, 0, &btilde);
+  double c = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    alpha_hat(0, i) = pi[i] * btilde[i];
+    c += alpha_hat(0, i);
+  }
+  DHMM_CHECK_MSG(c > 0.0, "initial frame has zero probability under pi");
+  for (size_t i = 0; i < k; ++i) alpha_hat(0, i) /= c;
+  scale[0] = c;
+  loglik += std::log(c) + m;
+
+  for (size_t t = 1; t < big_t; ++t) {
+    m = ShiftedEmissions(log_b, t, &btilde);
+    c = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (size_t i = 0; i < k; ++i) s += alpha_hat(t - 1, i) * a(i, j);
+      alpha_hat(t, j) = s * btilde[j];
+      c += alpha_hat(t, j);
+    }
+    DHMM_CHECK_MSG(c > 0.0, "forward message vanished (unreachable frame)");
+    for (size_t j = 0; j < k; ++j) alpha_hat(t, j) /= c;
+    scale[t] = c;
+    loglik += std::log(c) + m;
+  }
+  out.log_likelihood = loglik;
+
+  // Backward pass using the same scales.
+  linalg::Matrix beta_hat(big_t, k);
+  for (size_t i = 0; i < k; ++i) beta_hat(big_t - 1, i) = 1.0;
+  for (size_t t = big_t - 1; t-- > 0;) {
+    ShiftedEmissions(log_b, t + 1, &btilde);
+    for (size_t i = 0; i < k; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < k; ++j) {
+        s += a(i, j) * btilde[j] * beta_hat(t + 1, j);
+      }
+      beta_hat(t, i) = s / scale[t + 1];
+    }
+  }
+
+  // Unary posteriors gamma and summed pairwise posteriors xi.
+  for (size_t t = 0; t < big_t; ++t) {
+    double norm = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      out.gamma(t, i) = alpha_hat(t, i) * beta_hat(t, i);
+      norm += out.gamma(t, i);
+    }
+    DHMM_CHECK(norm > 0.0);
+    for (size_t i = 0; i < k; ++i) out.gamma(t, i) /= norm;
+  }
+  for (size_t t = 1; t < big_t; ++t) {
+    ShiftedEmissions(log_b, t, &btilde);
+    for (size_t i = 0; i < k; ++i) {
+      double ai = alpha_hat(t - 1, i);
+      if (ai == 0.0) continue;
+      for (size_t j = 0; j < k; ++j) {
+        out.xi_sum(i, j) +=
+            ai * a(i, j) * btilde[j] * beta_hat(t, j) / scale[t];
+      }
+    }
+  }
+  return out;
+}
+
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b) {
+  const size_t k = pi.size();
+  const size_t big_t = log_b.rows();
+  DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
+  DHMM_CHECK(big_t > 0);
+  linalg::Vector alpha(k), next(k), btilde(k);
+  double loglik = 0.0;
+  double m = ShiftedEmissions(log_b, 0, &btilde);
+  double c = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    alpha[i] = pi[i] * btilde[i];
+    c += alpha[i];
+  }
+  DHMM_CHECK(c > 0.0);
+  for (size_t i = 0; i < k; ++i) alpha[i] /= c;
+  loglik += std::log(c) + m;
+  for (size_t t = 1; t < big_t; ++t) {
+    m = ShiftedEmissions(log_b, t, &btilde);
+    c = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (size_t i = 0; i < k; ++i) s += alpha[i] * a(i, j);
+      next[j] = s * btilde[j];
+      c += next[j];
+    }
+    DHMM_CHECK(c > 0.0);
+    for (size_t j = 0; j < k; ++j) alpha[j] = next[j] / c;
+    loglik += std::log(c) + m;
+  }
+  return loglik;
+}
+
+ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                      const linalg::Matrix& log_b) {
+  const size_t k = pi.size();
+  const size_t big_t = log_b.rows();
+  DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
+  DHMM_CHECK(big_t > 0);
+
+  // Log-domain tables.
+  linalg::Vector log_pi(k);
+  for (size_t i = 0; i < k; ++i) {
+    log_pi[i] = pi[i] > 0.0 ? std::log(pi[i]) : prob::kNegInf;
+  }
+  linalg::Matrix log_a(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      log_a(i, j) = a(i, j) > 0.0 ? std::log(a(i, j)) : prob::kNegInf;
+    }
+  }
+
+  linalg::Matrix delta(big_t, k);
+  std::vector<std::vector<int>> psi(big_t, std::vector<int>(k, -1));
+  for (size_t i = 0; i < k; ++i) delta(0, i) = log_pi[i] + log_b(0, i);
+  for (size_t t = 1; t < big_t; ++t) {
+    for (size_t j = 0; j < k; ++j) {
+      double best = prob::kNegInf;
+      int arg = 0;
+      for (size_t i = 0; i < k; ++i) {
+        double v = delta(t - 1, i) + log_a(i, j);
+        if (v > best) {
+          best = v;
+          arg = static_cast<int>(i);
+        }
+      }
+      delta(t, j) = best + log_b(t, j);
+      psi[t][j] = arg;
+    }
+  }
+
+  ViterbiResult out;
+  out.path.resize(big_t);
+  double best = prob::kNegInf;
+  int arg = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (delta(big_t - 1, i) > best) {
+      best = delta(big_t - 1, i);
+      arg = static_cast<int>(i);
+    }
+  }
+  DHMM_CHECK_MSG(best != prob::kNegInf, "no state path has positive probability");
+  out.log_joint = best;
+  out.path[big_t - 1] = arg;
+  for (size_t t = big_t - 1; t-- > 0;) {
+    out.path[t] = psi[t + 1][out.path[t + 1]];
+  }
+  return out;
+}
+
+}  // namespace dhmm::hmm

@@ -1,0 +1,58 @@
+// Observation-type-agnostic HMM inference: scaled forward-backward (E-step,
+// paper Eqs. 9-10) and Viterbi decoding.
+//
+// All routines operate on a per-sequence table of emission log-probabilities
+// (T x k), which decouples the chain algebra from the emission family and
+// makes the recursions testable against brute-force enumeration.
+#ifndef DHMM_HMM_INFERENCE_H_
+#define DHMM_HMM_INFERENCE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::hmm {
+
+/// \brief Posterior marginals produced by one forward-backward pass.
+struct ForwardBackwardResult {
+  /// gamma(t, i) = q(X_t = i | Y)  — unary posteriors, T x k.
+  linalg::Matrix gamma;
+  /// xi_sum(i, j) = sum_{t=2..T} q(X_{t-1}=i, X_t=j | Y)  — expected
+  /// transition counts for the M-step, k x k.
+  linalg::Matrix xi_sum;
+  /// log P(Y | lambda).
+  double log_likelihood = 0.0;
+};
+
+/// \brief Runs the scaled forward-backward recursions.
+///
+/// \param pi     initial state distribution (k).
+/// \param a      row-stochastic transition matrix (k x k).
+/// \param log_b  emission log-probabilities, log_b(t, i) = log P(y_t | X_t=i).
+///
+/// Scaling: each frame's emissions are shifted by their max before
+/// exponentiation and the forward messages renormalized per step, so the pass
+/// is stable for arbitrarily peaked emissions (e.g. 128-pixel Bernoulli
+/// products at log-prob ~ -90).
+ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const linalg::Matrix& log_b);
+
+/// \brief log P(Y | lambda) only (forward pass).
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b);
+
+/// \brief Result of Viterbi decoding.
+struct ViterbiResult {
+  std::vector<int> path;    ///< argmax_X P(X, Y), length T
+  double log_joint = 0.0;   ///< log P(X*, Y)
+};
+
+/// \brief Most-likely state sequence via the Viterbi recursion (log domain).
+ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                      const linalg::Matrix& log_b);
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_INFERENCE_H_

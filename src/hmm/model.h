@@ -1,0 +1,66 @@
+// The HMM parameter container lambda = (pi, A, B).
+#ifndef DHMM_HMM_MODEL_H_
+#define DHMM_HMM_MODEL_H_
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "prob/emission.h"
+#include "util/check.h"
+
+namespace dhmm::hmm {
+
+/// \brief A first-order hidden Markov model: initial distribution pi,
+/// transition matrix A, and a pluggable emission model B.
+template <typename Obs>
+struct HmmModel {
+  linalg::Vector pi;                                   ///< k
+  linalg::Matrix a;                                    ///< k x k, row-stochastic
+  std::unique_ptr<prob::EmissionModel<Obs>> emission;  ///< B
+
+  HmmModel() = default;
+  HmmModel(linalg::Vector initial, linalg::Matrix transitions,
+           std::unique_ptr<prob::EmissionModel<Obs>> emission_model)
+      : pi(std::move(initial)), a(std::move(transitions)),
+        emission(std::move(emission_model)) {
+    Validate();
+  }
+
+  HmmModel(const HmmModel& other)
+      : pi(other.pi), a(other.a),
+        emission(other.emission ? other.emission->Clone() : nullptr) {}
+  HmmModel& operator=(const HmmModel& other) {
+    if (this != &other) {
+      pi = other.pi;
+      a = other.a;
+      emission = other.emission ? other.emission->Clone() : nullptr;
+    }
+    return *this;
+  }
+  HmmModel(HmmModel&&) noexcept = default;
+  HmmModel& operator=(HmmModel&&) noexcept = default;
+
+  /// Number of hidden states.
+  size_t num_states() const { return pi.size(); }
+
+  /// Aborts on inconsistent shapes or non-stochastic parameters.
+  void Validate() const {
+    DHMM_CHECK_MSG(emission != nullptr, "model requires an emission model");
+    DHMM_CHECK(pi.size() == a.rows() && a.rows() == a.cols());
+    DHMM_CHECK(emission->num_states() == pi.size());
+    DHMM_CHECK_MSG(a.IsRowStochastic(1e-6), "A must be row-stochastic");
+    double s = 0.0;
+    for (size_t i = 0; i < pi.size(); ++i) {
+      DHMM_CHECK(pi[i] >= -1e-12);
+      s += pi[i];
+    }
+    DHMM_CHECK_MSG(std::fabs(s - 1.0) < 1e-6, "pi must sum to 1");
+  }
+};
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_MODEL_H_

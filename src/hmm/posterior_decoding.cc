@@ -1,0 +1,16 @@
+#include "hmm/posterior_decoding.h"
+
+namespace dhmm::hmm {
+
+std::vector<int> PosteriorDecode(const linalg::Vector& pi,
+                                 const linalg::Matrix& a,
+                                 const linalg::Matrix& log_b) {
+  ForwardBackwardResult fb = ForwardBackward(pi, a, log_b);
+  std::vector<int> path(log_b.rows());
+  for (size_t t = 0; t < log_b.rows(); ++t) {
+    path[t] = static_cast<int>(fb.gamma.Row(t).argmax());
+  }
+  return path;
+}
+
+}  // namespace dhmm::hmm

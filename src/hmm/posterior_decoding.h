@@ -1,0 +1,38 @@
+// Posterior (max-marginal) decoding — the standard alternative to Viterbi.
+//
+// Viterbi maximizes the joint path probability; posterior decoding picks
+// argmax_i q(X_t = i | Y) per frame, which maximizes the expected number of
+// correct frames. The paper reports Viterbi decodes; the decoder-ablation
+// bench compares both.
+#ifndef DHMM_HMM_POSTERIOR_DECODING_H_
+#define DHMM_HMM_POSTERIOR_DECODING_H_
+
+#include <vector>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/sequence.h"
+
+namespace dhmm::hmm {
+
+/// \brief Per-frame argmax of the posterior marginals gamma.
+std::vector<int> PosteriorDecode(const linalg::Vector& pi,
+                                 const linalg::Matrix& a,
+                                 const linalg::Matrix& log_b);
+
+/// \brief Posterior-decodes every sequence in a dataset.
+template <typename Obs>
+std::vector<std::vector<int>> PosteriorDecodeDataset(
+    const HmmModel<Obs>& model, const Dataset<Obs>& data) {
+  std::vector<std::vector<int>> paths;
+  paths.reserve(data.size());
+  for (const auto& seq : data) {
+    paths.push_back(PosteriorDecode(model.pi, model.a,
+                                    model.emission->LogProbTable(seq.obs)));
+  }
+  return paths;
+}
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_POSTERIOR_DECODING_H_

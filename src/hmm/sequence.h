@@ -1,0 +1,37 @@
+// Sequence and dataset containers shared by trainers, evaluators, generators.
+#ifndef DHMM_HMM_SEQUENCE_H_
+#define DHMM_HMM_SEQUENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dhmm::hmm {
+
+/// \brief One observation sequence, optionally with gold-standard labels.
+///
+/// `labels` is either empty (unsupervised data) or the same length as `obs`
+/// with values in [0, k).
+template <typename Obs>
+struct Sequence {
+  std::vector<Obs> obs;
+  std::vector<int> labels;
+
+  size_t length() const { return obs.size(); }
+  bool labeled() const { return !labels.empty(); }
+};
+
+/// A collection of sequences.
+template <typename Obs>
+using Dataset = std::vector<Sequence<Obs>>;
+
+/// Total number of frames across a dataset.
+template <typename Obs>
+size_t TotalFrames(const Dataset<Obs>& data) {
+  size_t n = 0;
+  for (const auto& seq : data) n += seq.length();
+  return n;
+}
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_SEQUENCE_H_

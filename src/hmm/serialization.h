@@ -1,0 +1,151 @@
+// Text serialization of HMM / dHMM models.
+//
+// Format (whitespace separated):
+//   dhmm-model 1
+//   <k>
+//   <pi: k doubles>
+//   <A: k*k doubles, row major>
+//   <emission type tag>
+//   <emission payload (type-specific)>
+#ifndef DHMM_HMM_SERIALIZATION_H_
+#define DHMM_HMM_SERIALIZATION_H_
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "hmm/model.h"
+#include "prob/bernoulli_emission.h"
+#include "prob/categorical_emission.h"
+#include "prob/gaussian_emission.h"
+#include "prob/gmm_emission.h"
+#include "util/status.h"
+
+namespace dhmm::hmm {
+
+namespace internal {
+
+/// Per-observation-type emission factory used by LoadHmm.
+template <typename Obs>
+struct EmissionLoader;
+
+template <>
+struct EmissionLoader<double> {
+  static Result<std::unique_ptr<prob::EmissionModel<double>>> Load(
+      const std::string& type, std::istream& is) {
+    if (type == "gaussian") {
+      auto r = prob::GaussianEmission::Load(is);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<prob::EmissionModel<double>>(
+          std::make_unique<prob::GaussianEmission>(std::move(r.value())));
+    }
+    if (type == "gmm") {
+      auto r = prob::GmmEmission::Load(is);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<prob::EmissionModel<double>>(
+          std::make_unique<prob::GmmEmission>(std::move(r.value())));
+    }
+    return Status::InvalidArgument("unknown scalar emission type: " + type);
+  }
+};
+
+template <>
+struct EmissionLoader<int> {
+  static Result<std::unique_ptr<prob::EmissionModel<int>>> Load(
+      const std::string& type, std::istream& is) {
+    if (type == "categorical") {
+      auto r = prob::CategoricalEmission::Load(is);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<prob::EmissionModel<int>>(
+          std::make_unique<prob::CategoricalEmission>(std::move(r.value())));
+    }
+    return Status::InvalidArgument("unknown symbol emission type: " + type);
+  }
+};
+
+template <>
+struct EmissionLoader<prob::BinaryObs> {
+  static Result<std::unique_ptr<prob::EmissionModel<prob::BinaryObs>>> Load(
+      const std::string& type, std::istream& is) {
+    if (type == "bernoulli") {
+      auto r = prob::BernoulliEmission::Load(is);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<prob::EmissionModel<prob::BinaryObs>>(
+          std::make_unique<prob::BernoulliEmission>(std::move(r.value())));
+    }
+    return Status::InvalidArgument("unknown binary emission type: " + type);
+  }
+};
+
+}  // namespace internal
+
+/// \brief Writes a model as text.
+template <typename Obs>
+Status SaveHmm(const HmmModel<Obs>& model, std::ostream& os) {
+  model.Validate();
+  const size_t k = model.num_states();
+  os << "dhmm-model 1\n" << k << "\n";
+  os.precision(17);
+  for (size_t i = 0; i < k; ++i) os << model.pi[i] << (i + 1 == k ? "\n" : " ");
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      os << model.a(i, j) << (j + 1 == k ? "\n" : " ");
+    }
+  }
+  os << model.emission->TypeName() << "\n";
+  DHMM_RETURN_NOT_OK(model.emission->Save(os));
+  if (!os) return Status::IOError("stream failure while saving model");
+  return Status::OK();
+}
+
+/// \brief Reads a model written by SaveHmm.
+template <typename Obs>
+Result<HmmModel<Obs>> LoadHmm(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "dhmm-model" || version != 1) {
+    return Status::IOError("not a dhmm-model v1 stream");
+  }
+  size_t k = 0;
+  if (!(is >> k) || k == 0) return Status::IOError("bad state count");
+  linalg::Vector pi(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (!(is >> pi[i])) return Status::IOError("bad pi");
+  }
+  linalg::Matrix a(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (!(is >> a(i, j))) return Status::IOError("bad transition matrix");
+    }
+  }
+  std::string type;
+  if (!(is >> type)) return Status::IOError("missing emission type");
+  auto emission = internal::EmissionLoader<Obs>::Load(type, is);
+  if (!emission.ok()) return emission.status();
+  if (emission.value()->num_states() != k) {
+    return Status::IOError("emission state count mismatch");
+  }
+  return HmmModel<Obs>(std::move(pi), std::move(a),
+                       std::move(emission).value());
+}
+
+/// File-path convenience wrappers.
+template <typename Obs>
+Status SaveHmmToFile(const HmmModel<Obs>& model, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot open for write: " + path);
+  return SaveHmm(model, os);
+}
+
+template <typename Obs>
+Result<HmmModel<Obs>> LoadHmmFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for read: " + path);
+  return LoadHmm<Obs>(is);
+}
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_SERIALIZATION_H_

@@ -1,0 +1,66 @@
+// Supervised (count-based) HMM estimation from labeled sequences (§3.4.2).
+#ifndef DHMM_HMM_SUPERVISED_H_
+#define DHMM_HMM_SUPERVISED_H_
+
+#include <memory>
+
+#include "hmm/model.h"
+#include "hmm/sequence.h"
+#include "util/check.h"
+
+namespace dhmm::hmm {
+
+/// Smoothing pseudo-counts for supervised estimation. Zero reproduces the
+/// paper's plain frequency counts; positive values Laplace-smooth unseen
+/// events (needed when decoding test data containing unseen transitions).
+struct SupervisedOptions {
+  double initial_pseudo_count = 0.0;
+  double transition_pseudo_count = 0.0;
+};
+
+/// \brief Estimates lambda = (pi, A, B) by counting, as in the paper:
+/// pi from initial-state frequencies, A from pairwise-state frequencies, and
+/// B from the emission model's own sufficient statistics with hard (one-hot)
+/// assignments.
+///
+/// \param k         number of states (labels must lie in [0, k)).
+/// \param emission  emission model to fit; it is updated in place and then
+///                  moved into the returned model.
+template <typename Obs>
+HmmModel<Obs> FitSupervised(const Dataset<Obs>& data, size_t k,
+                            std::unique_ptr<prob::EmissionModel<Obs>> emission,
+                            const SupervisedOptions& options = {}) {
+  DHMM_CHECK(emission != nullptr && emission->num_states() == k);
+  DHMM_CHECK_MSG(!data.empty(), "supervised fit needs data");
+
+  linalg::Vector pi(k, options.initial_pseudo_count);
+  linalg::Matrix a(k, k, options.transition_pseudo_count);
+  emission->BeginAccumulate();
+  linalg::Vector one_hot(k);
+
+  for (const auto& seq : data) {
+    DHMM_CHECK_MSG(seq.labeled(), "supervised fit requires labels");
+    DHMM_CHECK(seq.labels.size() == seq.obs.size());
+    for (size_t t = 0; t < seq.length(); ++t) {
+      int s = seq.labels[t];
+      DHMM_CHECK(s >= 0 && static_cast<size_t>(s) < k);
+      if (t == 0) pi[static_cast<size_t>(s)] += 1.0;
+      if (t > 0) {
+        int prev = seq.labels[t - 1];
+        a(static_cast<size_t>(prev), static_cast<size_t>(s)) += 1.0;
+      }
+      for (size_t i = 0; i < k; ++i) one_hot[i] = 0.0;
+      one_hot[static_cast<size_t>(s)] = 1.0;
+      emission->Accumulate(seq.obs[t], one_hot);
+    }
+  }
+
+  pi.NormalizeToSimplex();
+  a.NormalizeRows();
+  emission->FinishAccumulate();
+  return HmmModel<Obs>(std::move(pi), std::move(a), std::move(emission));
+}
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_SUPERVISED_H_

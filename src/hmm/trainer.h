@@ -1,0 +1,152 @@
+// Baum-Welch EM with a pluggable transition M-step.
+//
+// The dHMM trainer (src/core) reuses this exact EM loop: the only difference
+// between maximum-likelihood HMM training and the paper's MAP training is the
+// M-step update for the transition matrix (paper §3.5.1), which is injected
+// here as a callback.
+#ifndef DHMM_HMM_TRAINER_H_
+#define DHMM_HMM_TRAINER_H_
+
+#include <cmath>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/sequence.h"
+#include "util/check.h"
+
+namespace dhmm::hmm {
+
+/// Maps (expected transition counts, previous A) to the updated A.
+/// The default (nullptr) is the maximum-likelihood update: normalize rows of
+/// the expected counts.
+using TransitionMStep = std::function<linalg::Matrix(
+    const linalg::Matrix& expected_counts, const linalg::Matrix& a_old)>;
+
+/// Options controlling the EM loop.
+struct EmOptions {
+  int max_iters = 100;      ///< maximum EM iterations
+  double tol = 1e-5;        ///< stop when relative loglik gain < tol
+  bool update_pi = true;
+  bool update_transitions = true;
+  bool update_emission = true;
+  TransitionMStep transition_m_step;  ///< nullptr = ML row normalization
+};
+
+/// Outcome of an EM fit.
+struct EmResult {
+  std::vector<double> loglik_history;  ///< data loglik before each update
+  int iterations = 0;
+  bool converged = false;
+  double final_loglik = 0.0;  ///< loglik of the final parameters
+};
+
+/// \brief Fits `model` to `data` by EM (Baum-Welch when no custom M-step).
+///
+/// The E-step computes exact posteriors with scaled forward-backward; the
+/// M-step re-estimates pi (expected initial-state counts), A (via the
+/// callback), and the emission model (via its sufficient statistics).
+template <typename Obs>
+EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
+               const EmOptions& options = {}) {
+  DHMM_CHECK(model != nullptr);
+  model->Validate();
+  DHMM_CHECK_MSG(!data.empty(), "cannot fit to an empty dataset");
+  const size_t k = model->num_states();
+
+  EmResult result;
+  double prev_loglik = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    linalg::Vector pi_acc(k);
+    linalg::Matrix trans_acc(k, k);
+    if (options.update_emission) model->emission->BeginAccumulate();
+
+    double loglik = 0.0;
+    for (const auto& seq : data) {
+      DHMM_CHECK_MSG(seq.length() > 0, "dataset contains an empty sequence");
+      linalg::Matrix log_b = model->emission->LogProbTable(seq.obs);
+      ForwardBackwardResult fb = ForwardBackward(model->pi, model->a, log_b);
+      loglik += fb.log_likelihood;
+      for (size_t i = 0; i < k; ++i) pi_acc[i] += fb.gamma(0, i);
+      trans_acc += fb.xi_sum;
+      if (options.update_emission) {
+        for (size_t t = 0; t < seq.length(); ++t) {
+          model->emission->Accumulate(seq.obs[t], fb.gamma.Row(t));
+        }
+      }
+    }
+    result.loglik_history.push_back(loglik);
+
+    // M-step.
+    if (options.update_pi) {
+      pi_acc.NormalizeToSimplex();
+      model->pi = pi_acc;
+    }
+    if (options.update_transitions) {
+      if (options.transition_m_step) {
+        model->a = options.transition_m_step(trans_acc, model->a);
+      } else {
+        linalg::Matrix a = trans_acc;
+        a.NormalizeRows();
+        model->a = a;
+      }
+    }
+    if (options.update_emission) model->emission->FinishAccumulate();
+    ++result.iterations;
+
+    if (iter > 0) {
+      double gain = loglik - prev_loglik;
+      double denom = std::max(1.0, std::fabs(prev_loglik));
+      // EM guarantees gain >= 0 up to roundoff; take |gain| so that
+      // floating-point jitter at the fixed point still registers as
+      // convergence.
+      if (std::fabs(gain) / denom < options.tol) {
+        prev_loglik = loglik;
+        result.converged = true;
+        break;
+      }
+    }
+    prev_loglik = loglik;
+  }
+
+  // Final loglik for the *updated* parameters.
+  double final_ll = 0.0;
+  for (const auto& seq : data) {
+    final_ll += LogLikelihood(model->pi, model->a,
+                              model->emission->LogProbTable(seq.obs));
+  }
+  result.final_loglik = final_ll;
+  return result;
+}
+
+/// \brief Total data log-likelihood under a model.
+template <typename Obs>
+double DatasetLogLikelihood(const HmmModel<Obs>& model,
+                            const Dataset<Obs>& data) {
+  double ll = 0.0;
+  for (const auto& seq : data) {
+    ll += LogLikelihood(model.pi, model.a,
+                        model.emission->LogProbTable(seq.obs));
+  }
+  return ll;
+}
+
+/// \brief Viterbi-decodes every sequence in a dataset.
+template <typename Obs>
+std::vector<std::vector<int>> DecodeDataset(const HmmModel<Obs>& model,
+                                            const Dataset<Obs>& data) {
+  std::vector<std::vector<int>> paths;
+  paths.reserve(data.size());
+  for (const auto& seq : data) {
+    paths.push_back(
+        Viterbi(model.pi, model.a, model.emission->LogProbTable(seq.obs))
+            .path);
+  }
+  return paths;
+}
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_TRAINER_H_

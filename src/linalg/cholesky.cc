@@ -1,0 +1,56 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace dhmm::linalg {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
+    : l_(a.rows(), a.cols()), ok_(true) {
+  DHMM_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const size_t n = a.rows();
+  for (size_t i = 0; i < n && ok_; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) {
+          ok_ = false;
+          break;
+        }
+        l_(i, j) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+double CholeskyDecomposition::LogDeterminant() const {
+  DHMM_CHECK(ok_);
+  double s = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector CholeskyDecomposition::Solve(const Vector& b) const {
+  DHMM_CHECK(ok_);
+  DHMM_CHECK(b.size() == l_.rows());
+  const size_t n = l_.rows();
+  // Forward: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
+    y[i] = s / l_(i, i);
+  }
+  // Backward: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * x[j];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace dhmm::linalg

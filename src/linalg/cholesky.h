@@ -1,0 +1,38 @@
+// Cholesky factorization for symmetric positive-definite matrices.
+#ifndef DHMM_LINALG_CHOLESKY_H_
+#define DHMM_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::linalg {
+
+/// \brief Cholesky factorization A = L L^T for SPD matrices.
+///
+/// DPP kernel matrices are PSD by construction; when strictly PD this gives a
+/// cheaper and more stable log-determinant than LU, and doubles as a PD test.
+class CholeskyDecomposition {
+ public:
+  /// Attempts the factorization; check ok() before using other accessors.
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  /// True when the input was symmetric positive definite (within roundoff).
+  bool ok() const { return ok_; }
+
+  /// Lower-triangular factor L. Precondition: ok().
+  const Matrix& L() const { return l_; }
+
+  /// log det A = 2 * sum_i log L_ii. Precondition: ok().
+  double LogDeterminant() const;
+
+  /// Solves A x = b via two triangular solves. Precondition: ok().
+  Vector Solve(const Vector& b) const;
+
+ private:
+  Matrix l_;
+  bool ok_;
+};
+
+}  // namespace dhmm::linalg
+
+#endif  // DHMM_LINALG_CHOLESKY_H_

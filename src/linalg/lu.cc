@@ -1,0 +1,116 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dhmm::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : lu_(a), piv_(a.rows()), pivot_sign_(1), singular_(false) {
+  DHMM_CHECK_MSG(a.rows() == a.cols(), "LU requires a square matrix");
+  const size_t n = lu_.rows();
+  for (size_t i = 0; i < n; ++i) piv_[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    size_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(col, c));
+      std::swap(piv_[pivot], piv_[col]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    double d = lu_(col, col);
+    if (d == 0.0 || !std::isfinite(d)) {
+      singular_ = true;
+      continue;
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = lu_(r, col) / d;
+      lu_(r, col) = f;
+      if (f == 0.0) continue;
+      for (size_t c = col + 1; c < n; ++c) lu_(r, c) -= f * lu_(col, c);
+    }
+  }
+}
+
+double LuDecomposition::Determinant() const {
+  if (singular_) return 0.0;
+  double det = pivot_sign_;
+  for (size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuDecomposition::LogAbsDeterminant() const {
+  if (singular_) return -std::numeric_limits<double>::infinity();
+  double s = 0.0;
+  for (size_t i = 0; i < size(); ++i) s += std::log(std::fabs(lu_(i, i)));
+  return s;
+}
+
+int LuDecomposition::DeterminantSign() const {
+  if (singular_) return 0;
+  int sign = pivot_sign_;
+  for (size_t i = 0; i < size(); ++i) {
+    if (lu_(i, i) < 0.0) sign = -sign;
+  }
+  return sign;
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  DHMM_CHECK_MSG(!singular_, "cannot solve with a singular matrix");
+  DHMM_CHECK(b.size() == size());
+  const size_t n = size();
+  Vector x(n);
+  // Apply permutation: x = P b.
+  for (size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  DHMM_CHECK(b.rows() == size());
+  Matrix out(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    out.SetCol(c, Solve(b.Col(c)));
+  }
+  return out;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(size()));
+}
+
+double Determinant(const Matrix& a) {
+  return LuDecomposition(a).Determinant();
+}
+
+double LogAbsDeterminant(const Matrix& a) {
+  return LuDecomposition(a).LogAbsDeterminant();
+}
+
+Matrix Inverse(const Matrix& a) {
+  LuDecomposition lu(a);
+  DHMM_CHECK_MSG(!lu.IsSingular(), "Inverse of singular matrix");
+  return lu.Inverse();
+}
+
+}  // namespace dhmm::linalg

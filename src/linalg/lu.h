@@ -1,0 +1,62 @@
+// LU decomposition with partial pivoting: determinant, inverse, solve.
+#ifndef DHMM_LINALG_LU_H_
+#define DHMM_LINALG_LU_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::linalg {
+
+/// \brief LU factorization PA = LU with partial (row) pivoting.
+///
+/// The diversity prior needs log|det K| and K^{-1} of small (k x k, k <= ~50)
+/// kernel matrices every gradient step; this class provides both with
+/// numerically stable pivoting.
+class LuDecomposition {
+ public:
+  /// Factorizes a square matrix. Singular inputs are accepted — det() will be
+  /// zero / log_abs_det() will be -inf and IsSingular() true.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// True if a zero (or subnormal) pivot was encountered.
+  bool IsSingular() const { return singular_; }
+
+  /// Determinant (including pivot sign).
+  double Determinant() const;
+
+  /// log |det| ; -inf for singular input.
+  double LogAbsDeterminant() const;
+
+  /// Sign of the determinant: -1, 0, or +1.
+  int DeterminantSign() const;
+
+  /// Solves A x = b. Precondition: !IsSingular().
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column. Precondition: !IsSingular().
+  Matrix Solve(const Matrix& b) const;
+
+  /// A^{-1}. Precondition: !IsSingular().
+  Matrix Inverse() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;               // packed L (unit diag, below) and U (on/above diag)
+  std::vector<size_t> piv_; // row permutation
+  int pivot_sign_;
+  bool singular_;
+};
+
+/// Convenience: determinant of a square matrix.
+double Determinant(const Matrix& a);
+
+/// Convenience: log |det A| (−inf when singular).
+double LogAbsDeterminant(const Matrix& a);
+
+/// Convenience: inverse; DHMM_CHECK-fails on singular input.
+Matrix Inverse(const Matrix& a);
+
+}  // namespace dhmm::linalg
+
+#endif  // DHMM_LINALG_LU_H_

@@ -1,0 +1,66 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhmm::linalg {
+
+double Vector::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Vector::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Vector::max() const {
+  DHMM_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::min() const {
+  DHMM_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+size_t Vector::argmax() const {
+  DHMM_CHECK(!data_.empty());
+  return static_cast<size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Vector::dot(const Vector& other) const {
+  DHMM_CHECK(size() == other.size());
+  double s = 0.0;
+  for (size_t i = 0; i < size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  DHMM_CHECK(size() == other.size());
+  for (size_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  DHMM_CHECK(size() == other.size());
+  for (size_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+void Vector::NormalizeToSimplex() {
+  double s = sum();
+  DHMM_CHECK_MSG(s > 0.0, "cannot normalize a non-positive-mass vector");
+  for (double& v : data_) v /= s;
+}
+
+}  // namespace dhmm::linalg

@@ -1,0 +1,81 @@
+// Dense double-precision vector.
+#ifndef DHMM_LINALG_VECTOR_H_
+#define DHMM_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dhmm::linalg {
+
+/// \brief Dense vector of doubles with bounds-checked (debug) access.
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero-initialized vector of length n.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+  /// Constant-filled vector of length n.
+  Vector(size_t n, double value) : data_(n, value) {}
+  /// From an initializer list, e.g. Vector{1.0, 2.0}.
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  /// From a std::vector (copies).
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](size_t i) const {
+    DHMM_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double& operator[](size_t i) {
+    DHMM_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  /// Underlying storage (for interop with std algorithms).
+  const std::vector<double>& values() const { return data_; }
+  std::vector<double>& values() { return data_; }
+
+  // --- elementwise / reduction operations ---------------------------------
+
+  /// Sum of entries.
+  double sum() const;
+  /// Euclidean (L2) norm.
+  double norm() const;
+  /// Maximum entry; precondition: non-empty.
+  double max() const;
+  /// Minimum entry; precondition: non-empty.
+  double min() const;
+  /// Index of the maximum entry; precondition: non-empty.
+  size_t argmax() const;
+  /// Dot product; sizes must match.
+  double dot(const Vector& other) const;
+
+  /// In-place scale.
+  Vector& operator*=(double s);
+  /// In-place add; sizes must match.
+  Vector& operator+=(const Vector& other);
+  /// In-place subtract; sizes must match.
+  Vector& operator-=(const Vector& other);
+
+  /// Normalizes entries to sum to 1; precondition: sum() > 0.
+  void NormalizeToSimplex();
+
+  friend Vector operator+(Vector a, const Vector& b) { return a += b; }
+  friend Vector operator-(Vector a, const Vector& b) { return a -= b; }
+  friend Vector operator*(Vector a, double s) { return a *= s; }
+  friend Vector operator*(double s, Vector a) { return a *= s; }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace dhmm::linalg
+
+#endif  // DHMM_LINALG_VECTOR_H_

@@ -1,0 +1,92 @@
+#include "optim/projected_gradient.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dhmm::optim {
+
+ProjectedGradientResult ProjectedGradientAscent(
+    const linalg::Matrix& init, const MatrixObjective& objective,
+    const MatrixGradient& gradient, const MatrixProjection& project,
+    const ProjectedGradientOptions& options) {
+  DHMM_CHECK(options.max_iters > 0);
+  DHMM_CHECK(options.initial_step > 0.0);
+  DHMM_CHECK(options.backtrack_factor > 0.0 && options.backtrack_factor < 1.0);
+
+  ProjectedGradientResult result;
+  result.argmax = init;
+  result.objective = objective(init);
+  DHMM_CHECK_MSG(std::isfinite(result.objective),
+                 "projected gradient needs a feasible finite starting point");
+
+  double step = options.initial_step;
+  int small_gain_streak = 0;
+  linalg::Matrix grad;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    if (!gradient(result.argmax, &grad)) break;
+
+    // Backtracking line search on the projected step. Once an improving
+    // candidate is found, probe a few more step sizes and keep the best —
+    // the first improving step after a long shrink is often a microscopic
+    // gain just inside the feasible region, while a nearby step does far
+    // better.
+    bool accepted = false;
+    linalg::Matrix candidate;
+    double cand_obj = 0.0;
+    double search_start = step;
+    double accepted_step = step;
+    int extra_probes = 3;
+    for (int bt = 0; bt < options.max_backtracks && step >= options.min_step;
+         ++bt) {
+      linalg::Matrix trial = result.argmax + grad * step;
+      project(&trial);
+      double trial_obj = objective(trial);
+      if (std::isfinite(trial_obj) && trial_obj > result.objective &&
+          (!accepted || trial_obj > cand_obj)) {
+        accepted = true;
+        candidate = std::move(trial);
+        cand_obj = trial_obj;
+        accepted_step = step;
+      }
+      if (accepted && --extra_probes < 0) break;
+      step *= options.backtrack_factor;
+    }
+    if (!accepted) {
+      // A grown step can exceed what the backtrack budget reaches back down
+      // from; retry once from the configured initial step before concluding
+      // that this is a local maximum.
+      if (search_start > options.initial_step) {
+        step = options.initial_step;
+        continue;
+      }
+      result.converged = true;  // no improving step exists: local maximum
+      break;
+    }
+    step = accepted_step;
+
+    double gain = cand_obj - result.objective;
+    result.argmax = std::move(candidate);
+    result.objective = cand_obj;
+    ++result.iterations;
+    // Adaptive step recovery, capped so the next backtracking search can
+    // always reach small steps within its budget.
+    step = std::min(step * options.grow_factor, options.initial_step * 1e8);
+
+    // A single small gain can be an artifact of a line search that just
+    // shrank the step; reset the step and require a streak of small gains at
+    // full step size before declaring convergence.
+    if (gain < options.tol) {
+      step = std::max(step, options.initial_step);
+      if (++small_gain_streak >= 3) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      small_gain_streak = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace dhmm::optim

@@ -1,0 +1,61 @@
+// Projected gradient ascent with adaptive (backtracking) step size — the
+// optimization engine behind the paper's Algorithm 1.
+#ifndef DHMM_OPTIM_PROJECTED_GRADIENT_H_
+#define DHMM_OPTIM_PROJECTED_GRADIENT_H_
+
+#include <functional>
+
+#include "linalg/matrix.h"
+
+namespace dhmm::optim {
+
+/// Objective value at a candidate point; may be -inf for infeasible points
+/// (e.g. a singular DPP kernel), which the line search treats as a rejected
+/// step.
+using MatrixObjective = std::function<double(const linalg::Matrix&)>;
+
+/// Gradient at a point. Returns false when the gradient is undefined there
+/// (the caller's current iterate is then returned unchanged).
+using MatrixGradient =
+    std::function<bool(const linalg::Matrix&, linalg::Matrix*)>;
+
+/// In-place feasibility projection.
+using MatrixProjection = std::function<void(linalg::Matrix*)>;
+
+/// Options for ProjectedGradientAscent.
+struct ProjectedGradientOptions {
+  int max_iters = 200;           ///< outer ascent iterations
+  double initial_step = 1.0;     ///< first trial step size gamma
+  double backtrack_factor = 0.5; ///< gamma shrink factor on rejection
+  /// Gamma growth after an accepted step. Must exceed 1/backtrack_factor so
+  /// that the step size can recover even when every iteration needs one
+  /// backtrack (otherwise the net step change per iteration shrinks and the
+  /// ascent creeps).
+  double grow_factor = 2.5;
+  int max_backtracks = 40;       ///< line-search budget per iteration
+  double tol = 1e-7;             ///< stop when objective gain < tol (Alg. 1 line 9)
+  double min_step = 1e-14;       ///< give up backtracking below this gamma
+};
+
+/// Result of a projected gradient run.
+struct ProjectedGradientResult {
+  linalg::Matrix argmax;   ///< best feasible iterate found
+  double objective = 0.0;  ///< objective at argmax
+  int iterations = 0;      ///< accepted ascent steps
+  bool converged = false;  ///< true when the tol criterion triggered
+};
+
+/// \brief Maximizes `objective` over matrices with feasible set given by
+/// `project`, starting from `init` (which must be feasible).
+///
+/// Implements the paper's Algorithm 1 loop: compute gradient, find a step
+/// size by backtracking until the projected step improves the objective,
+/// stop when the improvement falls below tolerance.
+ProjectedGradientResult ProjectedGradientAscent(
+    const linalg::Matrix& init, const MatrixObjective& objective,
+    const MatrixGradient& gradient, const MatrixProjection& project,
+    const ProjectedGradientOptions& options = {});
+
+}  // namespace dhmm::optim
+
+#endif  // DHMM_OPTIM_PROJECTED_GRADIENT_H_

@@ -1,0 +1,41 @@
+#include "optim/simplex_projection.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dhmm::optim {
+
+linalg::Vector ProjectToSimplex(const linalg::Vector& v) {
+  const size_t n = v.size();
+  DHMM_CHECK(n > 0);
+  std::vector<double> u(v.values());
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double tau = 0.0;
+  size_t rho = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cumsum += u[i];
+    double t = (cumsum - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      rho = i + 1;
+      tau = t;
+    }
+  }
+  DHMM_CHECK(rho > 0);
+  linalg::Vector out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::max(v[i] - tau, 0.0);
+  }
+  return out;
+}
+
+void ProjectRowsToSimplex(linalg::Matrix* m) {
+  DHMM_CHECK(m != nullptr);
+  for (size_t r = 0; r < m->rows(); ++r) {
+    m->SetRow(r, ProjectToSimplex(m->Row(r)));
+  }
+}
+
+}  // namespace dhmm::optim

@@ -1,0 +1,22 @@
+// Euclidean projection onto the probability simplex (paper's Eq. 17 via
+// Wang & Carreira-Perpinan 2013, Algorithm 1 — reference [51]).
+#ifndef DHMM_OPTIM_SIMPLEX_PROJECTION_H_
+#define DHMM_OPTIM_SIMPLEX_PROJECTION_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace dhmm::optim {
+
+/// \brief Projects v onto {a : a >= 0, sum a = 1} in Euclidean norm.
+///
+/// Sort-based O(n log n) algorithm: with u = sort(v, desc), find the largest
+/// rho with u_rho + (1 - sum_{i<=rho} u_i)/rho > 0 and clip at that threshold.
+linalg::Vector ProjectToSimplex(const linalg::Vector& v);
+
+/// Projects every row of m onto the simplex in place.
+void ProjectRowsToSimplex(linalg::Matrix* m);
+
+}  // namespace dhmm::optim
+
+#endif  // DHMM_OPTIM_SIMPLEX_PROJECTION_H_

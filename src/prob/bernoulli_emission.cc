@@ -1,0 +1,138 @@
+#include "prob/bernoulli_emission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace dhmm::prob {
+
+BernoulliEmission::BernoulliEmission(linalg::Matrix p, double p_floor)
+    : p_(std::move(p)), p_floor_(p_floor) {
+  DHMM_CHECK(p_floor_ > 0.0 && p_floor_ < 0.5);
+  for (size_t i = 0; i < p_.rows(); ++i) {
+    for (size_t d = 0; d < p_.cols(); ++d) {
+      DHMM_CHECK_MSG(p_(i, d) >= 0.0 && p_(i, d) <= 1.0,
+                     "Bernoulli parameters must be in [0,1]");
+    }
+  }
+  Clamp();
+  RebuildLogTables();
+}
+
+BernoulliEmission BernoulliEmission::RandomInit(size_t k, size_t dims,
+                                                Rng& rng, double p_floor) {
+  linalg::Matrix p(k, dims);
+  for (size_t i = 0; i < k; ++i)
+    for (size_t d = 0; d < dims; ++d) p(i, d) = rng.Uniform(0.25, 0.75);
+  return BernoulliEmission(std::move(p), p_floor);
+}
+
+void BernoulliEmission::Clamp() {
+  for (size_t i = 0; i < p_.rows(); ++i) {
+    for (size_t d = 0; d < p_.cols(); ++d) {
+      p_(i, d) = std::clamp(p_(i, d), p_floor_, 1.0 - p_floor_);
+    }
+  }
+}
+
+void BernoulliEmission::RebuildLogTables() {
+  log_p_ = linalg::Matrix(p_.rows(), p_.cols());
+  log_1mp_ = linalg::Matrix(p_.rows(), p_.cols());
+  for (size_t i = 0; i < p_.rows(); ++i) {
+    for (size_t d = 0; d < p_.cols(); ++d) {
+      log_p_(i, d) = std::log(p_(i, d));
+      log_1mp_(i, d) = std::log(1.0 - p_(i, d));
+    }
+  }
+}
+
+double BernoulliEmission::LogProb(size_t state, const BinaryObs& y) const {
+  DHMM_DCHECK(state < p_.rows());
+  DHMM_CHECK_MSG(y.size() == p_.cols(), "observation dimensionality mismatch");
+  double s = 0.0;
+  const double* lp = log_p_.row_data(state);
+  const double* lq = log_1mp_.row_data(state);
+  for (size_t d = 0; d < y.size(); ++d) {
+    s += y[d] ? lp[d] : lq[d];
+  }
+  return s;
+}
+
+BinaryObs BernoulliEmission::Sample(size_t state, Rng& rng) const {
+  DHMM_DCHECK(state < p_.rows());
+  BinaryObs y(p_.cols());
+  for (size_t d = 0; d < y.size(); ++d) {
+    y[d] = rng.Bernoulli(p_(state, d)) ? 1 : 0;
+  }
+  return y;
+}
+
+void BernoulliEmission::BeginAccumulate() {
+  acc_on_ = linalg::Matrix(p_.rows(), p_.cols());
+  acc_w_ = linalg::Vector(p_.rows());
+}
+
+void BernoulliEmission::Accumulate(const BinaryObs& y,
+                                   const linalg::Vector& q) {
+  DHMM_DCHECK(q.size() == p_.rows());
+  DHMM_CHECK(y.size() == p_.cols());
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q[i] == 0.0) continue;
+    acc_w_[i] += q[i];
+    double* row = acc_on_.row_data(i);
+    for (size_t d = 0; d < y.size(); ++d) {
+      if (y[d]) row[d] += q[i];
+    }
+  }
+}
+
+void BernoulliEmission::FinishAccumulate() {
+  DHMM_CHECK_MSG(acc_w_.size() == p_.rows(),
+                 "FinishAccumulate without BeginAccumulate");
+  for (size_t i = 0; i < p_.rows(); ++i) {
+    if (acc_w_[i] <= 0.0) continue;  // unused state keeps old parameters
+    for (size_t d = 0; d < p_.cols(); ++d) {
+      p_(i, d) = acc_on_(i, d) / acc_w_[i];
+    }
+  }
+  Clamp();
+  RebuildLogTables();
+}
+
+std::unique_ptr<EmissionModel<BinaryObs>> BernoulliEmission::Clone() const {
+  return std::make_unique<BernoulliEmission>(*this);
+}
+
+Status BernoulliEmission::Save(std::ostream& os) const {
+  os << p_.rows() << " " << p_.cols() << " " << p_floor_ << "\n";
+  for (size_t i = 0; i < p_.rows(); ++i) {
+    for (size_t d = 0; d < p_.cols(); ++d) {
+      os << p_(i, d) << (d + 1 == p_.cols() ? "\n" : " ");
+    }
+  }
+  if (!os) return Status::IOError("failed writing BernoulliEmission");
+  return Status::OK();
+}
+
+Result<BernoulliEmission> BernoulliEmission::Load(std::istream& is) {
+  size_t k = 0, dims = 0;
+  double floor = 0.0;
+  if (!(is >> k >> dims >> floor) || k == 0 || dims == 0 || floor <= 0.0 ||
+      floor >= 0.5) {
+    return Status::IOError("bad BernoulliEmission header");
+  }
+  linalg::Matrix p(k, dims);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t d = 0; d < dims; ++d) {
+      if (!(is >> p(i, d)) || p(i, d) < 0.0 || p(i, d) > 1.0) {
+        return Status::IOError("bad BernoulliEmission entry");
+      }
+    }
+  }
+  return BernoulliEmission(std::move(p), floor);
+}
+
+}  // namespace dhmm::prob

@@ -1,0 +1,59 @@
+// Per-state categorical (multinomial) emissions over a discrete vocabulary
+// (the PoS-tagging experiment, §4.2.1).
+#ifndef DHMM_PROB_CATEGORICAL_EMISSION_H_
+#define DHMM_PROB_CATEGORICAL_EMISSION_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "prob/emission.h"
+
+namespace dhmm::prob {
+
+/// \brief Y | X=i ~ Categorical(b_i) over symbols {0, ..., V-1}.
+///
+/// Parameters are a k x V row-stochastic matrix B. The EM update is the
+/// normalized expected symbol count (paper's multinomial M-step), with an
+/// optional Laplace pseudo-count to keep unseen symbols finite-likelihood.
+class CategoricalEmission : public EmissionModel<int> {
+ public:
+  /// Constructs from a row-stochastic k x V matrix.
+  explicit CategoricalEmission(linalg::Matrix b, double pseudo_count = 0.0);
+
+  /// Random initialization: rows drawn from a symmetric Dirichlet.
+  static CategoricalEmission RandomInit(size_t k, size_t vocab, Rng& rng,
+                                        double concentration = 1.0,
+                                        double pseudo_count = 0.0);
+
+  /// Loads from the text produced by Save().
+  static Result<CategoricalEmission> Load(std::istream& is);
+
+  size_t num_states() const override { return b_.rows(); }
+  size_t vocab_size() const { return b_.cols(); }
+
+  double LogProb(size_t state, const int& y) const override;
+  int Sample(size_t state, Rng& rng) const override;
+
+  void BeginAccumulate() override;
+  void Accumulate(const int& y, const linalg::Vector& q) override;
+  void FinishAccumulate() override;
+
+  std::unique_ptr<EmissionModel<int>> Clone() const override;
+  std::string TypeName() const override { return "categorical"; }
+  Status Save(std::ostream& os) const override;
+
+  /// The k x V probability table.
+  const linalg::Matrix& b() const { return b_; }
+
+ private:
+  void RebuildLogTable();
+
+  linalg::Matrix b_;      // probabilities
+  linalg::Matrix log_b_;  // cached logs
+  double pseudo_count_;
+  linalg::Matrix acc_;    // expected counts, k x V
+};
+
+}  // namespace dhmm::prob
+
+#endif  // DHMM_PROB_CATEGORICAL_EMISSION_H_

@@ -1,0 +1,73 @@
+// Emission-model interface shared by the HMM and dHMM trainers.
+//
+// Inference code (forward-backward, Viterbi) is observation-type-agnostic:
+// it consumes only per-frame log-probability tables. EmissionModel<Obs>
+// bridges typed observations to those tables and accumulates expected
+// sufficient statistics for the EM M-step.
+#ifndef DHMM_PROB_EMISSION_H_
+#define DHMM_PROB_EMISSION_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "prob/rng.h"
+#include "util/status.h"
+
+namespace dhmm::prob {
+
+/// \brief Per-state emission distribution with EM sufficient statistics.
+///
+/// Lifecycle during one EM iteration:
+///   BeginAccumulate();
+///   for every frame y_t:  Accumulate(y_t, q(X_t = .));
+///   FinishAccumulate();   // replaces parameters by the M-step update
+template <typename Obs>
+class EmissionModel {
+ public:
+  virtual ~EmissionModel() = default;
+
+  /// Number of hidden states k.
+  virtual size_t num_states() const = 0;
+
+  /// log p(y | X = state).
+  virtual double LogProb(size_t state, const Obs& y) const = 0;
+
+  /// Draws an observation from state's emission distribution.
+  virtual Obs Sample(size_t state, Rng& rng) const = 0;
+
+  /// Resets the EM sufficient statistics.
+  virtual void BeginAccumulate() = 0;
+
+  /// Adds one frame with posterior state weights q (size k, entries >= 0).
+  virtual void Accumulate(const Obs& y, const linalg::Vector& q) = 0;
+
+  /// Replaces the parameters with the M-step update of the accumulated stats.
+  virtual void FinishAccumulate() = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<EmissionModel<Obs>> Clone() const = 0;
+
+  /// Type tag used by model serialization.
+  virtual std::string TypeName() const = 0;
+
+  /// Writes parameters as text; paired with each concrete type's Load().
+  virtual Status Save(std::ostream& os) const = 0;
+
+  /// Fills a T x k table of log p(y_t | X_t = i) for a whole sequence.
+  linalg::Matrix LogProbTable(const std::vector<Obs>& seq) const {
+    linalg::Matrix table(seq.size(), num_states());
+    for (size_t t = 0; t < seq.size(); ++t) {
+      for (size_t i = 0; i < num_states(); ++i) {
+        table(t, i) = LogProb(i, seq[t]);
+      }
+    }
+    return table;
+  }
+};
+
+}  // namespace dhmm::prob
+
+#endif  // DHMM_PROB_EMISSION_H_

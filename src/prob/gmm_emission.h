@@ -1,0 +1,65 @@
+// Per-state Gaussian *mixture* emissions — the continuous-density HMM
+// (CD-HMM) emission family the paper's related work builds on (Sha & Saul
+// [43] model acoustic vectors with per-state GMMs). Each hidden state owns a
+// mixture of M univariate Gaussians; the EM accumulation computes component
+// responsibilities nested inside the state posteriors.
+#ifndef DHMM_PROB_GMM_EMISSION_H_
+#define DHMM_PROB_GMM_EMISSION_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "prob/emission.h"
+
+namespace dhmm::prob {
+
+/// \brief Y | X=i ~ sum_m w_{i,m} Normal(mu_{i,m}, sigma_{i,m}^2).
+class GmmEmission : public EmissionModel<double> {
+ public:
+  /// Constructs with explicit parameters: all matrices are k x M; rows of
+  /// `weights` on the simplex, sigmas positive.
+  GmmEmission(linalg::Matrix weights, linalg::Matrix mu, linalg::Matrix sigma,
+              double sigma_floor = 1e-4);
+
+  /// Random initialization: means spread over [mu_lo, mu_hi], uniform
+  /// weights, moderate sigmas.
+  static GmmEmission RandomInit(size_t k, size_t components, Rng& rng,
+                                double mu_lo = 0.0, double mu_hi = 6.0);
+
+  /// Loads from the text produced by Save().
+  static Result<GmmEmission> Load(std::istream& is);
+
+  size_t num_states() const override { return weights_.rows(); }
+  size_t num_components() const { return weights_.cols(); }
+
+  double LogProb(size_t state, const double& y) const override;
+  double Sample(size_t state, Rng& rng) const override;
+
+  void BeginAccumulate() override;
+  void Accumulate(const double& y, const linalg::Vector& q) override;
+  void FinishAccumulate() override;
+
+  std::unique_ptr<EmissionModel<double>> Clone() const override;
+  std::string TypeName() const override { return "gmm"; }
+  Status Save(std::ostream& os) const override;
+
+  const linalg::Matrix& weights() const { return weights_; }
+  const linalg::Matrix& mu() const { return mu_; }
+  const linalg::Matrix& sigma() const { return sigma_; }
+
+ private:
+  /// Per-component log densities for state i at y (size M).
+  void ComponentLogDensities(size_t state, double y,
+                             linalg::Vector* out) const;
+
+  linalg::Matrix weights_;  // k x M, row-stochastic
+  linalg::Matrix mu_;       // k x M
+  linalg::Matrix sigma_;    // k x M, positive
+  double sigma_floor_;
+  // Sufficient statistics per (state, component): weight, sum y, sum y^2.
+  linalg::Matrix acc_w_, acc_y_, acc_yy_;
+};
+
+}  // namespace dhmm::prob
+
+#endif  // DHMM_PROB_GMM_EMISSION_H_

@@ -1,0 +1,45 @@
+// Numerically stable log-domain reductions.
+#ifndef DHMM_PROB_LOGSUMEXP_H_
+#define DHMM_PROB_LOGSUMEXP_H_
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector.h"
+
+namespace dhmm::prob {
+
+/// Negative infinity, the log-domain zero.
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// log(exp(a) + exp(b)) without overflow.
+inline double LogAdd(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  double m = a > b ? a : b;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+/// log sum_i exp(v[i]); returns -inf for an empty or all -inf input.
+inline double LogSumExp(const linalg::Vector& v) {
+  double m = kNegInf;
+  for (size_t i = 0; i < v.size(); ++i) m = v[i] > m ? v[i] : m;
+  if (m == kNegInf) return kNegInf;
+  double s = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) s += std::exp(v[i] - m);
+  return m + std::log(s);
+}
+
+/// Pointer version over a contiguous range.
+inline double LogSumExp(const double* v, size_t n) {
+  double m = kNegInf;
+  for (size_t i = 0; i < n; ++i) m = v[i] > m ? v[i] : m;
+  if (m == kNegInf) return kNegInf;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::exp(v[i] - m);
+  return m + std::log(s);
+}
+
+}  // namespace dhmm::prob
+
+#endif  // DHMM_PROB_LOGSUMEXP_H_

@@ -1,0 +1,24 @@
+// Shared environment knobs for the reproduction bench harnesses.
+#ifndef DHMM_UTIL_BENCH_ENV_H_
+#define DHMM_UTIL_BENCH_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace dhmm {
+
+/// True when DHMM_BENCH_FAST=1: benches shrink sweeps/datasets so the whole
+/// suite runs in seconds (CI mode). Default is the full-fidelity run.
+inline bool BenchFastMode() {
+  const char* v = std::getenv("DHMM_BENCH_FAST");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// Scales a workload size down in fast mode.
+inline int BenchScaled(int full, int fast) {
+  return BenchFastMode() ? fast : full;
+}
+
+}  // namespace dhmm
+
+#endif  // DHMM_UTIL_BENCH_ENV_H_

@@ -1,0 +1,43 @@
+// Invariant-checking macros for programmer errors.
+//
+// DHMM_CHECK fires in all build types (the math in this library is cheap
+// relative to the cost of silently wrong numerics); DHMM_DCHECK compiles out
+// in NDEBUG builds for hot inner loops.
+#ifndef DHMM_UTIL_CHECK_H_
+#define DHMM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dhmm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "DHMM_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dhmm::internal
+
+#define DHMM_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dhmm::internal::CheckFailed(#cond, __FILE__, __LINE__, "");        \
+  } while (false)
+
+#define DHMM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dhmm::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg));     \
+  } while (false)
+
+#ifdef NDEBUG
+#define DHMM_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define DHMM_DCHECK(cond) DHMM_CHECK(cond)
+#endif
+
+#endif  // DHMM_UTIL_CHECK_H_

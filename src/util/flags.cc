@@ -1,0 +1,57 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dhmm {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int FlagParser::GetInt(const std::string& key, int def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  DHMM_CHECK_MSG(end != nullptr && *end == '\0', "flag is not an integer");
+  return static_cast<int>(v);
+}
+
+double FlagParser::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  DHMM_CHECK_MSG(end != nullptr && *end == '\0', "flag is not a number");
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1";
+}
+
+}  // namespace dhmm

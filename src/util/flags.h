@@ -1,0 +1,37 @@
+// Minimal --key=value command-line flag parsing for examples and benches.
+#ifndef DHMM_UTIL_FLAGS_H_
+#define DHMM_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace dhmm {
+
+/// \brief Parses `--key=value` / `--switch` style arguments.
+///
+/// Unknown positional arguments are rejected so typos surface immediately.
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed tokens.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed getters with defaults. Returns the default when the flag is absent;
+  /// aborts via DHMM_CHECK if present but unparseable (programmer/user error
+  /// is surfaced loudly in tools).
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// True if the flag appeared on the command line.
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dhmm
+
+#endif  // DHMM_UTIL_FLAGS_H_

@@ -1,0 +1,129 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dhmm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DHMM_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  DHMM_CHECK_MSG(row.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += PadRight(row[c], widths[c]);
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::ToCsvLines() const {
+  std::string out = "csv:" + StrJoin(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += "csv:" + StrJoin(row, ",") + "\n";
+  return out;
+}
+
+void TextTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fputs(ToCsvLines().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+std::string AsciiBarChart(const std::vector<std::string>& labels,
+                          const std::vector<double>& values, int max_width) {
+  DHMM_CHECK(labels.size() == values.size());
+  double vmax = 0.0;
+  size_t lw = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    vmax = std::max(vmax, values[i]);
+    lw = std::max(lw, labels[i].size());
+  }
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    int bar = vmax > 0 ? static_cast<int>(std::lround(values[i] / vmax *
+                                                      max_width))
+                       : 0;
+    out += PadLeft(labels[i], lw) + " |" + std::string(bar, '#') +
+           StrFormat(" %.6g\n", values[i]);
+  }
+  return out;
+}
+
+std::string AsciiSeriesChart(const std::vector<double>& xs,
+                             const std::vector<std::vector<double>>& series,
+                             const std::vector<std::string>& names,
+                             int height, int width) {
+  DHMM_CHECK(series.size() == names.size());
+  DHMM_CHECK(height >= 2 && width >= 2);
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : series) {
+    DHMM_CHECK(s.size() == xs.size());
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(hi > lo)) {
+    hi = lo + 1.0;
+  }
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const char* marks = "*o+x#@";
+  for (size_t si = 0; si < series.size(); ++si) {
+    char m = marks[si % 6];
+    for (size_t i = 0; i < xs.size(); ++i) {
+      int col = xs.size() <= 1
+                    ? 0
+                    : static_cast<int>(std::lround(
+                          static_cast<double>(i) / (xs.size() - 1) * (width - 1)));
+      int row = static_cast<int>(
+          std::lround((series[si][i] - lo) / (hi - lo) * (height - 1)));
+      row = height - 1 - std::clamp(row, 0, height - 1);
+      grid[row][col] = m;
+    }
+  }
+  std::string out;
+  out += StrFormat("%10.4g +", hi);
+  out += std::string(width, '-') + "\n";
+  for (int r = 0; r < height; ++r) {
+    out += "           |" + grid[r] + "\n";
+  }
+  out += StrFormat("%10.4g +", lo);
+  out += std::string(width, '-') + "\n";
+  out += StrFormat("            x: [%.4g .. %.4g]   ", xs.empty() ? 0.0 : xs.front(),
+                   xs.empty() ? 0.0 : xs.back());
+  for (size_t si = 0; si < series.size(); ++si) {
+    out += StrFormat("%c=%s  ", marks[si % 6], names[si].c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace dhmm

@@ -1,0 +1,53 @@
+// Aligned text-table and ASCII-chart rendering for the bench harnesses.
+//
+// Every paper table/figure reproduction prints through these helpers so that
+// bench output is uniform and machine-extractable (each table also emits
+// `csv:`-prefixed lines).
+#ifndef DHMM_UTIL_TABLE_H_
+#define DHMM_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dhmm {
+
+/// \brief Column-aligned text table builder.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Renders `csv:`-prefixed comma-separated lines (header + rows).
+  std::string ToCsvLines() const;
+
+  /// Convenience: render both the aligned table and the csv lines to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Renders a horizontal ASCII bar chart (one bar per labeled value).
+///
+/// Used for the paper's histogram figures (Fig. 4, Fig. 9, Table 1 row 2).
+std::string AsciiBarChart(const std::vector<std::string>& labels,
+                          const std::vector<double>& values, int max_width = 50);
+
+/// \brief Renders an x/y series as an ASCII line chart (rows = value bins).
+///
+/// Used for the sweep figures (Fig. 3, 5, 7, 10).
+std::string AsciiSeriesChart(const std::vector<double>& xs,
+                             const std::vector<std::vector<double>>& series,
+                             const std::vector<std::string>& names,
+                             int height = 16, int width = 60);
+
+}  // namespace dhmm
+
+#endif  // DHMM_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helper for benches and convergence reporting.
+#ifndef DHMM_UTIL_TIMER_H_
+#define DHMM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dhmm {
+
+/// \brief Monotonic stopwatch; starts at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dhmm
+
+#endif  // DHMM_UTIL_TIMER_H_

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "baselines/naive_bayes.h"
+#include "baselines/optimized_hmm.h"
+#include "data/ocr.h"
+#include "eval/metrics.h"
+
+namespace dhmm::baselines {
+namespace {
+
+data::OcrOptions SmallOcr(uint64_t seed, size_t n = 400,
+                          double noise = 0.08) {
+  data::OcrOptions opts;
+  opts.num_words = n;
+  opts.pixel_flip = noise;
+  opts.seed = seed;
+  return opts;
+}
+
+struct Split {
+  hmm::Dataset<prob::BinaryObs> train;
+  hmm::Dataset<prob::BinaryObs> test;
+};
+
+Split TrainTest(const data::OcrDataset& ds, double test_fraction = 0.2) {
+  Split split;
+  size_t n_test = static_cast<size_t>(ds.words.size() * test_fraction);
+  for (size_t i = 0; i < ds.words.size(); ++i) {
+    (i < n_test ? split.test : split.train).push_back(ds.words[i]);
+  }
+  return split;
+}
+
+double Accuracy(const std::vector<std::vector<int>>& pred,
+                const hmm::Dataset<prob::BinaryObs>& data) {
+  eval::LabelSequences gold;
+  for (const auto& seq : data) gold.push_back(seq.labels);
+  return eval::FrameAccuracy(pred, gold);
+}
+
+// -------------------------------------------------------------- NaiveBayes ---
+
+TEST(NaiveBayesTest, LearnsSeparableClasses) {
+  // Without spatial jitter the glyphs are near-perfectly separable per frame;
+  // jitter is what drags NaiveBayes into the paper's ~63% band (Fig. 11).
+  data::OcrOptions opts = SmallOcr(1, 300, 0.02);
+  opts.max_jitter = 0;
+  data::OcrDataset ds = data::GenerateOcrDataset(opts);
+  Split split = TrainTest(ds);
+  NaiveBayesClassifier nb(data::kNumLetters, data::kGlyphDims);
+  nb.Fit(split.train);
+  std::vector<std::vector<int>> pred;
+  for (const auto& seq : split.test) pred.push_back(nb.PredictSequence(seq.obs));
+  EXPECT_GT(Accuracy(pred, split.test), 0.9);
+}
+
+TEST(NaiveBayesTest, PriorsReflectLetterFrequencies) {
+  data::OcrDataset ds = data::GenerateOcrDataset(SmallOcr(2, 500));
+  NaiveBayesClassifier nb(data::kNumLetters, data::kGlyphDims);
+  nb.Fit(ds.words);
+  // 'e' is the most common English letter; its prior must beat 'z'.
+  EXPECT_GT(nb.priors()[data::LetterIndex('e')],
+            nb.priors()[data::LetterIndex('z')]);
+  EXPECT_NEAR(nb.priors().sum(), 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, DegradesWithNoiseButNotBelowChance) {
+  data::OcrDataset clean = data::GenerateOcrDataset(SmallOcr(3, 300, 0.02));
+  data::OcrDataset noisy = data::GenerateOcrDataset(SmallOcr(3, 300, 0.25));
+  Split cs = TrainTest(clean);
+  Split ns = TrainTest(noisy);
+
+  NaiveBayesClassifier nb_clean(data::kNumLetters, data::kGlyphDims);
+  nb_clean.Fit(cs.train);
+  NaiveBayesClassifier nb_noisy(data::kNumLetters, data::kGlyphDims);
+  nb_noisy.Fit(ns.train);
+
+  std::vector<std::vector<int>> pred_clean, pred_noisy;
+  for (const auto& s : cs.test) pred_clean.push_back(nb_clean.PredictSequence(s.obs));
+  for (const auto& s : ns.test) pred_noisy.push_back(nb_noisy.PredictSequence(s.obs));
+  double acc_clean = Accuracy(pred_clean, cs.test);
+  double acc_noisy = Accuracy(pred_noisy, ns.test);
+  EXPECT_GT(acc_clean, acc_noisy);
+  EXPECT_GT(acc_noisy, 1.5 / 26.0);  // well above chance
+}
+
+// ------------------------------------------------------------ OptimizedHmm ---
+
+TEST(OptimizedHmmTest, FitsAndDecodes) {
+  data::OcrDataset ds = data::GenerateOcrDataset(SmallOcr(4, 400, 0.15));
+  Split split = TrainTest(ds);
+  OptimizedHmm ohmm(data::kNumLetters, data::kGlyphDims);
+  ohmm.Fit(split.train);
+  std::vector<std::vector<int>> pred;
+  for (const auto& seq : split.test) pred.push_back(ohmm.Decode(seq.obs));
+  EXPECT_GT(Accuracy(pred, split.test), 0.5);
+}
+
+TEST(OptimizedHmmTest, TunedParametersComeFromGrid) {
+  data::OcrDataset ds = data::GenerateOcrDataset(SmallOcr(5, 300, 0.15));
+  OptimizedHmmOptions opts;
+  opts.emission_weights = {0.5, 1.0};
+  opts.transition_pseudo_counts = {0.5};
+  OptimizedHmm ohmm(data::kNumLetters, data::kGlyphDims, opts);
+  ohmm.Fit(ds.words);
+  EXPECT_TRUE(ohmm.tuned_emission_weight() == 0.5 ||
+              ohmm.tuned_emission_weight() == 1.0);
+  EXPECT_DOUBLE_EQ(ohmm.tuned_pseudo_count(), 0.5);
+}
+
+TEST(OptimizedHmmTest, BeatsNaiveBayesAtHighNoise) {
+  // With very noisy pixels, the chain structure must help. This is the
+  // Fig. 11 ordering: NaiveBayes < (Optimized)HMM.
+  data::OcrDataset ds = data::GenerateOcrDataset(SmallOcr(6, 700, 0.28));
+  Split split = TrainTest(ds);
+
+  NaiveBayesClassifier nb(data::kNumLetters, data::kGlyphDims);
+  nb.Fit(split.train);
+  OptimizedHmm ohmm(data::kNumLetters, data::kGlyphDims);
+  ohmm.Fit(split.train);
+
+  std::vector<std::vector<int>> pred_nb, pred_hmm;
+  for (const auto& s : split.test) {
+    pred_nb.push_back(nb.PredictSequence(s.obs));
+    pred_hmm.push_back(ohmm.Decode(s.obs));
+  }
+  EXPECT_GT(Accuracy(pred_hmm, split.test), Accuracy(pred_nb, split.test));
+}
+
+}  // namespace
+}  // namespace dhmm::baselines

@@ -1,0 +1,361 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "prob/rng.h"
+
+namespace dhmm::linalg {
+namespace {
+
+// ---------------------------------------------------------------- Vector ---
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  v[1] = 5.0;
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(VectorTest, Reductions) {
+  Vector v{3.0, -4.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(v.norm(), std::sqrt(26.0));
+  EXPECT_DOUBLE_EQ(v.max(), 3.0);
+  EXPECT_DOUBLE_EQ(v.min(), -4.0);
+  EXPECT_EQ(v.argmax(), 0u);
+}
+
+TEST(VectorTest, DotAndArithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  Vector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  Vector d = b - a;
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  Vector e = 2.0 * a;
+  EXPECT_DOUBLE_EQ(e[1], 4.0);
+}
+
+TEST(VectorTest, NormalizeToSimplex) {
+  Vector v{1.0, 3.0};
+  v.NormalizeToSimplex();
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+// ---------------------------------------------------------------- Matrix ---
+
+TEST(MatrixTest, InitializerListAndIdentity) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowColSetters) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vector{1.0, 2.0, 3.0});
+  m.SetCol(2, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 8.0);
+  Vector r = m.Row(0);
+  EXPECT_DOUBLE_EQ(r[2], 9.0);
+  Vector c = m.Col(2);
+  EXPECT_DOUBLE_EQ(c[1], 8.0);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 2.0);
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c(1, 3), 6.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector v = a.MatVec(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowStochasticChecks) {
+  Matrix good{{0.2, 0.8}, {0.5, 0.5}};
+  EXPECT_TRUE(good.IsRowStochastic());
+  Matrix bad{{0.2, 0.9}, {0.5, 0.5}};
+  EXPECT_FALSE(bad.IsRowStochastic());
+  Matrix negative{{1.2, -0.2}, {0.5, 0.5}};
+  EXPECT_FALSE(negative.IsRowStochastic());
+}
+
+TEST(MatrixTest, NormalizeRowsHandlesZeroRow) {
+  Matrix m(2, 4);
+  m(0, 1) = 2.0;
+  m.NormalizeRows();
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+  // Zero row becomes uniform.
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.25);
+  EXPECT_TRUE(m.IsRowStochastic());
+}
+
+TEST(MatrixTest, NormsAndDistance) {
+  Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  Matrix b(2, 2);
+  EXPECT_DOUBLE_EQ(a.squared_distance(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(MatrixTest, SymmetryPredicate) {
+  Matrix s{{1.0, 2.0}, {2.0, 3.0}};
+  EXPECT_TRUE(s.IsSymmetric());
+  Matrix ns{{1.0, 2.0}, {2.1, 3.0}};
+  EXPECT_FALSE(ns.IsSymmetric());
+}
+
+// -------------------------------------------------------------------- LU ---
+
+TEST(LuTest, DeterminantKnownValues) {
+  EXPECT_DOUBLE_EQ(Determinant(Matrix{{2.0}}), 2.0);
+  EXPECT_DOUBLE_EQ(Determinant(Matrix{{1.0, 2.0}, {3.0, 4.0}}), -2.0);
+  EXPECT_NEAR(Determinant(Matrix{{2.0, 0.0, 1.0},
+                                 {1.0, 3.0, 2.0},
+                                 {1.0, 1.0, 4.0}}),
+              18.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Determinant(Matrix::Identity(5)), 1.0);
+}
+
+TEST(LuTest, SingularMatrixDetected) {
+  Matrix m{{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(m);
+  EXPECT_TRUE(lu.IsSingular());
+  EXPECT_DOUBLE_EQ(lu.Determinant(), 0.0);
+  EXPECT_EQ(lu.DeterminantSign(), 0);
+  EXPECT_TRUE(std::isinf(lu.LogAbsDeterminant()));
+}
+
+TEST(LuTest, LogAbsDetMatchesLogOfDet) {
+  Matrix m{{4.0, 1.0}, {2.0, 3.0}};
+  LuDecomposition lu(m);
+  EXPECT_NEAR(lu.LogAbsDeterminant(), std::log(10.0), 1e-12);
+  EXPECT_EQ(lu.DeterminantSign(), 1);
+}
+
+TEST(LuTest, DeterminantSignNegative) {
+  Matrix m{{0.0, 1.0}, {1.0, 0.0}};  // permutation, det = -1
+  LuDecomposition lu(m);
+  EXPECT_EQ(lu.DeterminantSign(), -1);
+  EXPECT_NEAR(lu.Determinant(), -1.0, 1e-15);
+}
+
+TEST(LuTest, SolveRecoversSolution) {
+  Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  Vector x_true{1.0, -2.0};
+  Vector b = a.MatVec(x_true);
+  Vector x = LuDecomposition(a).Solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  prob::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + trial % 6;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = rng.Gaussian();
+      a(i, i) += static_cast<double>(n);  // diagonally dominant: nonsingular
+    }
+    Matrix inv = Inverse(a);
+    Matrix prod = a.MatMul(inv);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(LuTest, MatrixSolveMultipleRhs) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Matrix b{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix x = LuDecomposition(a).Solve(b);
+  Matrix check = a.MatMul(x);
+  EXPECT_NEAR(check(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(check(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(check(1, 1), 1.0, 1e-12);
+}
+
+// Property sweep: det(AB) = det(A)det(B) on random matrices.
+class LuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuPropertyTest, DetIsMultiplicative) {
+  prob::Rng rng(static_cast<uint64_t>(GetParam()));
+  size_t n = 2 + static_cast<size_t>(GetParam()) % 5;
+  Matrix a(n, n), b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.Gaussian();
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  double lhs = Determinant(a.MatMul(b));
+  double rhs = Determinant(a) * Determinant(b);
+  EXPECT_NEAR(lhs, rhs, 1e-8 * (1.0 + std::fabs(rhs)));
+}
+
+TEST_P(LuPropertyTest, DetOfTransposeEqual) {
+  prob::Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  size_t n = 2 + static_cast<size_t>(GetParam()) % 5;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.Gaussian();
+  EXPECT_NEAR(Determinant(a), Determinant(a.Transposed()),
+              1e-9 * (1.0 + std::fabs(Determinant(a))));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LuPropertyTest,
+                         ::testing::Range(0, 12));
+
+// -------------------------------------------------------------- Cholesky ---
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  CholeskyDecomposition chol(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.L();
+  Matrix rec = l.MatMul(l.Transposed());
+  EXPECT_NEAR(rec(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(rec(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(rec(1, 1), 3.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyDecomposition(a).ok());
+}
+
+TEST(CholeskyTest, LogDetMatchesLu) {
+  prob::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t n = 2 + trial % 5;
+    Matrix g(n, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) g(i, j) = rng.Gaussian();
+    Matrix spd = g.MatMul(g.Transposed());
+    for (size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+    CholeskyDecomposition chol(spd);
+    ASSERT_TRUE(chol.ok());
+    EXPECT_NEAR(chol.LogDeterminant(), LogAbsDeterminant(spd), 1e-8);
+  }
+}
+
+TEST(CholeskyTest, SolveMatchesLuSolve) {
+  Matrix a{{5.0, 1.0, 0.5}, {1.0, 4.0, 1.0}, {0.5, 1.0, 3.0}};
+  Vector b{1.0, 2.0, 3.0};
+  CholeskyDecomposition chol(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x1 = chol.Solve(b);
+  Vector x2 = LuDecomposition(a).Solve(b);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+// -------------------------------------------------------- SymmetricEigen ---
+
+TEST(EigenSymTest, DiagonalMatrix) {
+  Matrix d = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  SymmetricEigen eig(d);
+  ASSERT_TRUE(eig.converged());
+  EXPECT_NEAR(eig.eigenvalues()[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues()[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues()[2], 3.0, 1e-12);
+}
+
+TEST(EigenSymTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  SymmetricEigen eig(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(eig.eigenvalues()[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues()[1], 3.0, 1e-10);
+}
+
+TEST(EigenSymTest, ReconstructionAndOrthonormality) {
+  prob::Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    size_t n = 2 + trial;
+    Matrix g(n, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) g(i, j) = rng.Gaussian();
+    Matrix s = g + g.Transposed();
+    SymmetricEigen eig(s);
+    ASSERT_TRUE(eig.converged());
+    const Matrix& v = eig.eigenvectors();
+    // V^T V = I.
+    Matrix vtv = v.Transposed().MatMul(v);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-8);
+      }
+    }
+    // V diag(w) V^T = S.
+    Matrix rec = v.MatMul(Matrix::Diagonal(eig.eigenvalues()))
+                     .MatMul(v.Transposed());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(rec(i, j), s(i, j), 1e-7);
+      }
+    }
+  }
+}
+
+TEST(EigenSymTest, TraceAndDetInvariants) {
+  Matrix s{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  SymmetricEigen eig(s);
+  const Vector& w = eig.eigenvalues();
+  EXPECT_NEAR(w[0] + w[1] + w[2], 9.0, 1e-9);              // trace
+  EXPECT_NEAR(w[0] * w[1] * w[2], Determinant(s), 1e-8);   // det
+}
+
+TEST(EigenSymTest, PsdKernelHasNonNegativeEigenvalues) {
+  prob::Rng rng(9);
+  Matrix g(4, 6);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 6; ++j) g(i, j) = rng.Gaussian();
+  Matrix psd = g.MatMul(g.Transposed());
+  SymmetricEigen eig(psd);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(eig.eigenvalues()[i], -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dhmm::linalg

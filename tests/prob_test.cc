@@ -1,0 +1,379 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "prob/bernoulli_emission.h"
+#include "prob/categorical_emission.h"
+#include "prob/gaussian_emission.h"
+#include "prob/logsumexp.h"
+#include "prob/rng.h"
+
+namespace dhmm::prob {
+namespace {
+
+// ------------------------------------------------------------------- Rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= 10000.0;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(6);
+  std::vector<int> hist(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    ++hist[v];
+  }
+  for (int h : hist) EXPECT_GT(h, 700);  // ~1000 each
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(9);
+  for (double shape : {0.5, 1.0, 2.0, 5.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      double g = rng.Gamma(shape);
+      ASSERT_GT(g, 0.0);
+      sum += g;
+    }
+    EXPECT_NEAR(sum / n, shape, 0.1 * shape + 0.02);
+  }
+}
+
+TEST(RngTest, DirichletOnSimplex) {
+  Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    linalg::Vector d = rng.DirichletSymmetric(5, 0.7);
+    double s = 0.0;
+    for (size_t i = 0; i < d.size(); ++i) {
+      ASSERT_GE(d[i], 0.0);
+      s += d[i];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(RngTest, DirichletConcentrationControlsSpread) {
+  Rng rng(11);
+  // Very high concentration -> near uniform; very low -> near corner.
+  linalg::Vector flat = rng.Dirichlet(linalg::Vector(4, 500.0));
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(flat[i], 0.25, 0.1);
+  double max_sharp = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    linalg::Vector sharp = rng.Dirichlet(linalg::Vector(4, 0.05));
+    max_sharp = std::max(max_sharp, sharp.max());
+  }
+  EXPECT_GT(max_sharp, 0.9);
+}
+
+TEST(RngTest, CategoricalFrequenciesMatchWeights) {
+  Rng rng(12);
+  linalg::Vector w{1.0, 2.0, 7.0};
+  std::vector<int> hist(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++hist[rng.Categorical(w)];
+  EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(hist[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(RngTest, CategoricalIgnoresZeroWeights) {
+  Rng rng(13);
+  linalg::Vector w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(14);
+  auto p = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (size_t v : p) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, RandomStochasticMatrixRowsOnSimplex) {
+  Rng rng(15);
+  linalg::Matrix m = rng.RandomStochasticMatrix(6, 9, 2.0);
+  EXPECT_TRUE(m.IsRowStochastic(1e-9));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(16);
+  int on = 0;
+  for (int i = 0; i < 10000; ++i) on += rng.Bernoulli(0.3);
+  EXPECT_NEAR(on / 10000.0, 0.3, 0.02);
+}
+
+// ------------------------------------------------------------- LogSumExp ---
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  linalg::Vector v{0.0, 1.0, 2.0};
+  double direct = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(v), direct, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  linalg::Vector v{-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(v), -1000.0 + std::log(2.0), 1e-9);
+  linalg::Vector w{1000.0, 999.0};
+  EXPECT_NEAR(LogSumExp(w), 1000.0 + std::log1p(std::exp(-1.0)), 1e-9);
+}
+
+TEST(LogSumExpTest, HandlesNegInf) {
+  EXPECT_EQ(LogAdd(kNegInf, kNegInf), kNegInf);
+  EXPECT_DOUBLE_EQ(LogAdd(kNegInf, 3.0), 3.0);
+  linalg::Vector v{kNegInf, kNegInf};
+  EXPECT_EQ(LogSumExp(v), kNegInf);
+}
+
+// ------------------------------------------------------ GaussianEmission ---
+
+TEST(GaussianEmissionTest, LogProbMatchesDensity) {
+  GaussianEmission e(linalg::Vector{0.0, 2.0}, linalg::Vector{1.0, 0.5});
+  double lp = e.LogProb(0, 0.0);
+  EXPECT_NEAR(lp, -0.5 * std::log(2.0 * M_PI), 1e-12);
+  double lp2 = e.LogProb(1, 2.5);
+  double z = 0.5 / 0.5;
+  EXPECT_NEAR(lp2, -0.5 * z * z - std::log(0.5) - 0.5 * std::log(2.0 * M_PI),
+              1e-12);
+}
+
+TEST(GaussianEmissionTest, EmFitRecoversWeightedStats) {
+  GaussianEmission e(linalg::Vector{0.0, 0.0}, linalg::Vector{1.0, 1.0});
+  e.BeginAccumulate();
+  // State 0 sees {1, 3} with unit weight; state 1 sees {10} only.
+  e.Accumulate(1.0, linalg::Vector{1.0, 0.0});
+  e.Accumulate(3.0, linalg::Vector{1.0, 0.0});
+  e.Accumulate(10.0, linalg::Vector{0.0, 1.0});
+  e.FinishAccumulate();
+  EXPECT_NEAR(e.mu()[0], 2.0, 1e-12);
+  EXPECT_NEAR(e.mu()[1], 10.0, 1e-12);
+  // Variance of {1,3} is 1 -> sigma 1.
+  EXPECT_NEAR(e.sigma()[0], 1.0, 1e-12);
+}
+
+TEST(GaussianEmissionTest, SigmaFloorPreventsSingularity) {
+  GaussianEmission e(linalg::Vector{0.0}, linalg::Vector{1.0},
+                     /*sigma_floor=*/0.01);
+  e.BeginAccumulate();
+  e.Accumulate(5.0, linalg::Vector{1.0});  // single point -> zero variance
+  e.FinishAccumulate();
+  EXPECT_GE(e.sigma()[0], 0.01);
+  EXPECT_TRUE(std::isfinite(e.LogProb(0, 5.0)));
+}
+
+TEST(GaussianEmissionTest, UnusedStateKeepsParameters) {
+  GaussianEmission e(linalg::Vector{1.0, -7.0}, linalg::Vector{0.5, 0.25});
+  e.BeginAccumulate();
+  e.Accumulate(1.5, linalg::Vector{1.0, 0.0});
+  e.FinishAccumulate();
+  EXPECT_NEAR(e.mu()[1], -7.0, 1e-12);
+  EXPECT_NEAR(e.sigma()[1], 0.25, 1e-12);
+}
+
+TEST(GaussianEmissionTest, SampleMomentsMatchParameters) {
+  GaussianEmission e(linalg::Vector{4.0}, linalg::Vector{0.5});
+  Rng rng(20);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += e.Sample(0, rng);
+  EXPECT_NEAR(sum / n, 4.0, 0.02);
+}
+
+TEST(GaussianEmissionTest, SaveLoadRoundTrip) {
+  GaussianEmission e(linalg::Vector{1.0, 2.0}, linalg::Vector{0.3, 0.7});
+  std::stringstream ss;
+  ASSERT_TRUE(e.Save(ss).ok());
+  auto r = GaussianEmission::Load(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().mu()[1], 2.0, 1e-15);
+  EXPECT_NEAR(r.value().sigma()[0], 0.3, 1e-15);
+}
+
+TEST(GaussianEmissionTest, LoadRejectsGarbage) {
+  std::stringstream ss("not a header");
+  EXPECT_FALSE(GaussianEmission::Load(ss).ok());
+}
+
+// --------------------------------------------------- CategoricalEmission ---
+
+TEST(CategoricalEmissionTest, LogProbMatchesTable) {
+  CategoricalEmission e(linalg::Matrix{{0.5, 0.5, 0.0}, {0.1, 0.2, 0.7}});
+  EXPECT_NEAR(e.LogProb(0, 0), std::log(0.5), 1e-12);
+  EXPECT_NEAR(e.LogProb(1, 2), std::log(0.7), 1e-12);
+  EXPECT_EQ(e.LogProb(0, 2), kNegInf);
+  EXPECT_EQ(e.vocab_size(), 3u);
+}
+
+TEST(CategoricalEmissionTest, EmFitNormalizesCounts) {
+  CategoricalEmission e(linalg::Matrix{{0.5, 0.5}, {0.5, 0.5}});
+  e.BeginAccumulate();
+  e.Accumulate(0, linalg::Vector{1.0, 0.0});
+  e.Accumulate(0, linalg::Vector{1.0, 0.0});
+  e.Accumulate(1, linalg::Vector{1.0, 0.0});
+  e.Accumulate(1, linalg::Vector{0.0, 1.0});
+  e.FinishAccumulate();
+  EXPECT_NEAR(e.b()(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(e.b()(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(e.b()(1, 1), 1.0, 1e-12);
+}
+
+TEST(CategoricalEmissionTest, PseudoCountSmoothsUnseenSymbols) {
+  CategoricalEmission e(linalg::Matrix{{0.5, 0.5}}, /*pseudo_count=*/0.5);
+  e.BeginAccumulate();
+  e.Accumulate(0, linalg::Vector{1.0});
+  e.FinishAccumulate();
+  EXPECT_GT(e.b()(0, 1), 0.0);
+  EXPECT_TRUE(std::isfinite(e.LogProb(0, 1)));
+}
+
+TEST(CategoricalEmissionTest, SampleFrequencies) {
+  CategoricalEmission e(linalg::Matrix{{0.8, 0.2}});
+  Rng rng(21);
+  int zeros = 0;
+  for (int i = 0; i < 10000; ++i) zeros += e.Sample(0, rng) == 0;
+  EXPECT_NEAR(zeros / 10000.0, 0.8, 0.02);
+}
+
+TEST(CategoricalEmissionTest, SaveLoadRoundTrip) {
+  CategoricalEmission e(linalg::Matrix{{0.25, 0.75}, {0.9, 0.1}}, 0.1);
+  std::stringstream ss;
+  ASSERT_TRUE(e.Save(ss).ok());
+  auto r = CategoricalEmission::Load(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().b()(0, 1), 0.75, 1e-15);
+  EXPECT_NEAR(r.value().b()(1, 0), 0.9, 1e-15);
+}
+
+TEST(CategoricalEmissionTest, RandomInitIsStochastic) {
+  Rng rng(22);
+  CategoricalEmission e = CategoricalEmission::RandomInit(4, 30, rng);
+  EXPECT_TRUE(e.b().IsRowStochastic(1e-9));
+}
+
+// ----------------------------------------------------- BernoulliEmission ---
+
+TEST(BernoulliEmissionTest, LogProbMatchesProduct) {
+  BernoulliEmission e(linalg::Matrix{{0.9, 0.1}});
+  BinaryObs obs{1, 0};
+  EXPECT_NEAR(e.LogProb(0, obs), std::log(0.9) + std::log(0.9), 1e-12);
+  BinaryObs obs2{0, 1};
+  EXPECT_NEAR(e.LogProb(0, obs2), std::log(0.1) + std::log(0.1), 1e-12);
+}
+
+TEST(BernoulliEmissionTest, ClampKeepsLogProbFinite) {
+  BernoulliEmission e(linalg::Matrix{{1.0, 0.0}}, /*p_floor=*/1e-3);
+  BinaryObs contradicting{0, 1};
+  EXPECT_TRUE(std::isfinite(e.LogProb(0, contradicting)));
+}
+
+TEST(BernoulliEmissionTest, EmFitMatchesWeightedFrequencies) {
+  BernoulliEmission e(linalg::Matrix(1, 2, 0.5));
+  e.BeginAccumulate();
+  e.Accumulate(BinaryObs{1, 0}, linalg::Vector{1.0});
+  e.Accumulate(BinaryObs{1, 1}, linalg::Vector{1.0});
+  e.Accumulate(BinaryObs{0, 0}, linalg::Vector{2.0});  // weighted frame
+  e.FinishAccumulate();
+  EXPECT_NEAR(e.p()(0, 0), 0.5, 1e-12);   // 2 on / 4 weight
+  EXPECT_NEAR(e.p()(0, 1), 0.25, 1e-12);  // 1 on / 4 weight
+}
+
+TEST(BernoulliEmissionTest, SampleMatchesProbabilities) {
+  BernoulliEmission e(linalg::Matrix{{0.8, 0.2}});
+  Rng rng(23);
+  int on0 = 0, on1 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    BinaryObs o = e.Sample(0, rng);
+    on0 += o[0];
+    on1 += o[1];
+  }
+  EXPECT_NEAR(on0 / 10000.0, 0.8, 0.02);
+  EXPECT_NEAR(on1 / 10000.0, 0.2, 0.02);
+}
+
+TEST(BernoulliEmissionTest, SaveLoadRoundTrip) {
+  BernoulliEmission e(linalg::Matrix{{0.7, 0.3, 0.5}});
+  std::stringstream ss;
+  ASSERT_TRUE(e.Save(ss).ok());
+  auto r = BernoulliEmission::Load(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().p()(0, 0), 0.7, 1e-15);
+  EXPECT_EQ(r.value().dims(), 3u);
+}
+
+TEST(BernoulliEmissionTest, CloneIsDeep) {
+  BernoulliEmission e(linalg::Matrix{{0.7, 0.3}});
+  auto clone = e.Clone();
+  e.BeginAccumulate();
+  e.Accumulate(BinaryObs{0, 1}, linalg::Vector{1.0});
+  e.FinishAccumulate();
+  // The clone still has the original parameters.
+  BinaryObs obs{1, 0};
+  EXPECT_NEAR(clone->LogProb(0, obs), std::log(0.7) + std::log(0.7), 1e-12);
+}
+
+// Parameterized: LogProbTable consistency across emission families.
+TEST(EmissionTableTest, LogProbTableMatchesPointwise) {
+  Rng rng(24);
+  CategoricalEmission e = CategoricalEmission::RandomInit(3, 5, rng);
+  std::vector<int> seq = {0, 4, 2, 2, 1};
+  linalg::Matrix table = e.LogProbTable(seq);
+  ASSERT_EQ(table.rows(), 5u);
+  ASSERT_EQ(table.cols(), 3u);
+  for (size_t t = 0; t < seq.size(); ++t) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(table(t, i), e.LogProb(i, seq[t]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhmm::prob

@@ -1,0 +1,150 @@
+// File-level serialization coverage: disk round trips for every emission
+// family, resumability, and rejection of malformed payloads.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/dhmm_trainer.h"
+#include "data/toy.h"
+#include "hmm/sampler.h"
+#include "hmm/serialization.h"
+#include "hmm/trainer.h"
+#include "prob/bernoulli_emission.h"
+#include "prob/categorical_emission.h"
+
+namespace dhmm {
+namespace {
+
+class SerializationFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dhmm_serialization_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->line()) +
+             ".txt");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST_F(SerializationFileTest, GaussianDiskRoundTrip) {
+  prob::Rng rng(1);
+  hmm::HmmModel<double> m = data::ToyRandomInit(rng);
+  ASSERT_TRUE(hmm::SaveHmmToFile(m, path()).ok());
+  auto r = hmm::LoadHmmFromFile<double>(path());
+  ASSERT_TRUE(r.ok());
+  prob::Rng data_rng(2);
+  hmm::Dataset<double> data = hmm::SampleDataset(m, 5, 6, data_rng);
+  EXPECT_NEAR(hmm::DatasetLogLikelihood(r.value(), data),
+              hmm::DatasetLogLikelihood(m, data), 1e-9);
+}
+
+TEST_F(SerializationFileTest, CategoricalDiskRoundTripBitExact) {
+  prob::Rng rng(3);
+  hmm::HmmModel<int> m(
+      rng.DirichletSymmetric(4, 2.0), rng.RandomStochasticMatrix(4, 4, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          prob::CategoricalEmission::RandomInit(4, 12, rng)));
+  ASSERT_TRUE(hmm::SaveHmmToFile(m, path()).ok());
+  auto r = hmm::LoadHmmFromFile<int>(path());
+  ASSERT_TRUE(r.ok());
+  // 17-digit precision round trip: matrices identical to the last bit.
+  EXPECT_TRUE(r.value().a == m.a);
+}
+
+TEST_F(SerializationFileTest, BernoulliDiskRoundTrip) {
+  prob::Rng rng(4);
+  hmm::HmmModel<prob::BinaryObs> m(
+      rng.DirichletSymmetric(3, 2.0), rng.RandomStochasticMatrix(3, 3, 2.0),
+      std::make_unique<prob::BernoulliEmission>(
+          prob::BernoulliEmission::RandomInit(3, 16, rng)));
+  ASSERT_TRUE(hmm::SaveHmmToFile(m, path()).ok());
+  auto r = hmm::LoadHmmFromFile<prob::BinaryObs>(path());
+  ASSERT_TRUE(r.ok());
+  auto* em = dynamic_cast<prob::BernoulliEmission*>(r.value().emission.get());
+  ASSERT_NE(em, nullptr);
+  EXPECT_EQ(em->dims(), 16u);
+}
+
+TEST_F(SerializationFileTest, ResumedTrainingContinuesImproving) {
+  prob::Rng data_rng(5);
+  hmm::Dataset<double> data = data::GenerateToyDataset(0.5, 60, 6, data_rng);
+  prob::Rng init_rng(6);
+  hmm::HmmModel<double> m = data::ToyRandomInit(init_rng);
+  core::DiversifiedEmOptions opts;
+  opts.alpha = 1.0;
+  opts.max_iters = 3;
+  core::FitDiversifiedHmm(&m, data, opts);
+  double ll_checkpoint = hmm::DatasetLogLikelihood(m, data);
+
+  ASSERT_TRUE(hmm::SaveHmmToFile(m, path()).ok());
+  auto r = hmm::LoadHmmFromFile<double>(path());
+  ASSERT_TRUE(r.ok());
+  hmm::HmmModel<double> resumed = std::move(r).value();
+  opts.max_iters = 15;
+  core::FitDiversifiedHmm(&resumed, data, opts);
+  EXPECT_GE(hmm::DatasetLogLikelihood(resumed, data), ll_checkpoint - 1e-9);
+}
+
+TEST_F(SerializationFileTest, MissingFileIsIOError) {
+  auto r = hmm::LoadHmmFromFile<double>("/nonexistent/dir/model.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializationRobustnessTest, TruncatedPayloadRejected) {
+  prob::Rng rng(7);
+  hmm::HmmModel<int> m(
+      rng.DirichletSymmetric(3, 2.0), rng.RandomStochasticMatrix(3, 3, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          prob::CategoricalEmission::RandomInit(3, 5, rng)));
+  std::stringstream full;
+  ASSERT_TRUE(hmm::SaveHmm(m, full).ok());
+  std::string text = full.str();
+  // Cut the stream at several points that drop whole numbers; every such
+  // truncation must fail cleanly. (Trimming a few trailing digit characters
+  // is indistinguishable from a shorter final number in a text format, so
+  // the cuts stay clear of the last token.)
+  for (size_t cut : {text.size() / 4, text.size() / 2, 2 * text.size() / 3}) {
+    std::stringstream truncated(text.substr(0, cut));
+    auto r = hmm::LoadHmm<int>(truncated);
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationRobustnessTest, NegativeProbabilityRejected) {
+  // Hand-craft a payload with a negative emission probability.
+  std::stringstream ss(
+      "dhmm-model 1\n2\n0.5 0.5\n0.5 0.5\n0.5 0.5\n"
+      "categorical\n2 2 0\n-0.25 1.25\n0.5 0.5\n");
+  EXPECT_FALSE(hmm::LoadHmm<int>(ss).ok());
+}
+
+TEST(SerializationRobustnessTest, WrongVersionRejected) {
+  std::stringstream ss("dhmm-model 9\n2\n");
+  EXPECT_FALSE(hmm::LoadHmm<int>(ss).ok());
+}
+
+TEST(SerializationRobustnessTest, EmissionStateMismatchRejected) {
+  // Header says 2 states but the categorical payload has 3.
+  std::stringstream ss(
+      "dhmm-model 1\n2\n0.5 0.5\n0.5 0.5\n0.5 0.5\n"
+      "categorical\n3 2 0\n0.5 0.5\n0.5 0.5\n0.5 0.5\n");
+  auto r = hmm::LoadHmm<int>(ss);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace dhmm

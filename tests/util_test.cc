@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace dhmm {
+namespace {
+
+// ---------------------------------------------------------------- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// ----------------------------------------------------------- string_util ---
+
+TEST(StringUtilTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "abc"), "abc");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  std::string s = StrFormat("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcde", 3), "abcde");  // no truncation
+}
+
+TEST(StringUtilTest, StrSplit) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+// ----------------------------------------------------------------- Table ---
+
+TEST(TableTest, AlignedRendering) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22.5"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvLines) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::string csv = t.ToCsvLines();
+  EXPECT_NE(csv.find("csv:a,b"), std::string::npos);
+  EXPECT_NE(csv.find("csv:1,2"), std::string::npos);
+}
+
+TEST(TableTest, BarChartScalesToMax) {
+  std::string chart = AsciiBarChart({"x", "y"}, {1.0, 2.0}, 10);
+  // The larger value gets the full width of '#'s.
+  EXPECT_NE(chart.find("##########"), std::string::npos);
+}
+
+TEST(TableTest, SeriesChartRenders) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::string chart =
+      AsciiSeriesChart(xs, {{0.1, 0.2, 0.3, 0.4}, {0.4, 0.3, 0.2, 0.1}},
+                       {"up", "down"}, 8, 30);
+  EXPECT_NE(chart.find("up"), std::string::npos);
+  EXPECT_NE(chart.find("down"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Flags ---
+
+TEST(FlagsTest, ParsesKeyValueAndSwitches) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--n=10", "--verbose",
+                        "--name=test"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(5, argv).ok());
+  EXPECT_DOUBLE_EQ(p.GetDouble("alpha", 0.0), 2.5);
+  EXPECT_EQ(p.GetInt("n", 0), 10);
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_EQ(p.GetString("name", ""), "test");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(1, argv).ok());
+  EXPECT_EQ(p.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(p.GetBool("missing", false));
+  EXPECT_FALSE(p.Has("missing"));
+}
+
+TEST(FlagsTest, RejectsPositional) {
+  const char* argv[] = {"prog", "positional"};
+  FlagParser p;
+  EXPECT_FALSE(p.Parse(2, argv).ok());
+}
+
+}  // namespace
+}  // namespace dhmm
