@@ -1,0 +1,21 @@
+# Brings in GoogleTest via FetchContent and defines GTest::gtest_main.
+#
+# On machines with the Debian googletest source package installed (as in
+# CI and the dev container) the local tree is used so configure works
+# offline; otherwise the pinned upstream tarball below is fetched. That
+# pin (version + SHA256) is the dependency lockfile: CI keys its
+# FetchContent cache on this file's hash.
+include(FetchContent)
+
+if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  FetchContent_Declare(googletest SOURCE_DIR /usr/src/googletest)
+else()
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+endif()
+
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

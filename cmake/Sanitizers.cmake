@@ -1,0 +1,20 @@
+# Applies DHMM_SANITIZE (a semicolon-separated sanitizer list, e.g.
+# "address;undefined") to the shared dhmm_build_flags interface target.
+# Driven by the `asan` preset in CMakePresets.json; empty means none.
+
+function(dhmm_apply_sanitizers target)
+  if(NOT DHMM_SANITIZE)
+    return()
+  endif()
+  foreach(san IN LISTS DHMM_SANITIZE)
+    target_compile_options(${target} INTERFACE -fsanitize=${san})
+    target_link_options(${target} INTERFACE -fsanitize=${san})
+  endforeach()
+  # UBSan recovers-and-continues by default, which would let CI pass on
+  # undefined behavior; make any detected UB fatal.
+  if("undefined" IN_LIST DHMM_SANITIZE)
+    target_compile_options(${target} INTERFACE -fno-sanitize-recover=undefined)
+    target_link_options(${target} INTERFACE -fno-sanitize-recover=undefined)
+  endif()
+  target_compile_options(${target} INTERFACE -fno-omit-frame-pointer)
+endfunction()

@@ -161,5 +161,82 @@ TEST(FlagsTest, RejectsPositional) {
   EXPECT_FALSE(p.Parse(2, argv).ok());
 }
 
+TEST(FlagsTest, EmptyArgvIsOk) {
+  // Bench entrypoints may be exec'd with no argv at all; Parse must not read
+  // past the (empty) array.
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(0, nullptr).ok());
+  EXPECT_EQ(p.GetInt("anything", 3), 3);
+}
+
+TEST(FlagsTest, DuplicateFlagLastWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2", "--n=3"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(4, argv).ok());
+  EXPECT_EQ(p.GetInt("n", 0), 3);
+}
+
+TEST(FlagsTest, EmptyValueIsPresentButEmpty) {
+  const char* argv[] = {"prog", "--name="};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(2, argv).ok());
+  EXPECT_TRUE(p.Has("name"));
+  EXPECT_EQ(p.GetString("name", "default"), "");
+}
+
+TEST(FlagsTest, BoolValueVariants) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=0", "--d=yes"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(5, argv).ok());
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_TRUE(p.GetBool("b", false));
+  EXPECT_FALSE(p.GetBool("c", true));
+  EXPECT_FALSE(p.GetBool("d", true));  // only "true"/"1" are truthy
+}
+
+TEST(FlagsTest, PositionalErrorNamesOffendingToken) {
+  const char* argv[] = {"prog", "--ok=1", "oops"};
+  FlagParser p;
+  Status st = p.Parse(3, argv);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("oops"), std::string::npos);
+}
+
+TEST(FlagsDeathTest, UnparseableNumberAborts) {
+  const char* argv[] = {"prog", "--n=abc", "--x=1.5zzz"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(3, argv).ok());
+  EXPECT_DEATH(p.GetInt("n", 0), "not an integer");
+  EXPECT_DEATH(p.GetDouble("x", 0.0), "not a number");
+}
+
+// ------------------------------------------------ Status propagation ---
+
+Status FailWhenNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative input");
+  return Status::OK();
+}
+
+Status PropagatesViaMacro(int v) {
+  DHMM_RETURN_NOT_OK(FailWhenNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(PropagatesViaMacro(1).ok());
+  Status st = PropagatesViaMacro(-1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(st.message(), "negative input");
+}
+
+TEST(StatusTest, ToStringRendersCodeAndMessage) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  std::string rendered = Status::IOError("missing file").ToString();
+  EXPECT_NE(rendered.find("missing file"), std::string::npos);
+  EXPECT_NE(rendered, "missing file");  // the code name is included too
+}
+
 }  // namespace
 }  // namespace dhmm
