@@ -87,7 +87,9 @@ int main() {
   TextTable table({"param", "state1", "state2", "state3", "state4", "state5"});
   auto add = [&](const std::string& name, const linalg::Vector& v) {
     std::vector<std::string> row = {name};
-    for (size_t i = 0; i < v.size(); ++i) row.push_back(StrFormat("%.4f", v[i]));
+    for (size_t i = 0; i < v.size(); ++i) {
+      row.push_back(StrFormat("%.4f", v[i]));
+    }
     table.AddRow(row);
   };
   add("pi (truth)", truth.pi);

@@ -28,7 +28,9 @@ int main() {
   linalg::Vector hist_dhmm = eval::StateHistogram(run.dhmm_paths, k);
 
   std::vector<std::string> labels;
-  for (size_t i = 0; i < k; ++i) labels.push_back(StrFormat("state %zu", i + 1));
+  for (size_t i = 0; i < k; ++i) {
+    labels.push_back(StrFormat("state %zu", i + 1));
+  }
 
   std::printf("--- state histograms (Viterbi decodes) ---\n");
   std::printf("ground-truth parameters:\n%s\n",

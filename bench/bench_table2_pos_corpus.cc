@@ -33,7 +33,8 @@ int main() {
                   paper[i].members, StrFormat("%d", paper[i].paper_frequency),
                   StrFormat("%.4f", paper[i].paper_frequency / paper_total),
                   StrFormat("%.0f", hist[i]),
-                  StrFormat("%.4f", hist[i] / static_cast<double>(total_tokens))});
+                  StrFormat("%.4f",
+                            hist[i] / static_cast<double>(total_tokens))});
   }
   table.Print();
 

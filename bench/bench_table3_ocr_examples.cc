@@ -15,9 +15,11 @@ int main() {
   for (const char* word : {"embraces", "commanding", "volcanic"}) {
     std::printf("--- %s ---\n", word);
     std::printf("sample 1 (noisy):\n%s\n",
-                data::RenderWordAscii(data::RenderWord(word, opts, rng).obs).c_str());
+                data::RenderWordAscii(data::RenderWord(word, opts, rng).obs)
+                    .c_str());
     std::printf("sample 2 (noisy):\n%s\n",
-                data::RenderWordAscii(data::RenderWord(word, opts, rng).obs).c_str());
+                data::RenderWordAscii(data::RenderWord(word, opts, rng).obs)
+                    .c_str());
     std::vector<prob::BinaryObs> clean;
     for (const char* c = word; *c; ++c) {
       clean.push_back(data::GlyphTemplate(

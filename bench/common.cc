@@ -149,7 +149,8 @@ std::vector<double> CrossValidatedOcr(const data::OcrDataset& ds,
   for (const auto& fold : folds) {
     auto train = eval::Subset(ds.words, fold.train);
     auto test = eval::Subset(ds.words, fold.test);
-    accuracies.push_back(RunOcrFold(train, test, alpha, tether_weight).accuracy);
+    accuracies.push_back(
+        RunOcrFold(train, test, alpha, tether_weight).accuracy);
   }
   return accuracies;
 }

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   // 3. Load and verify.
   Result<hmm::HmmModel<double>> loaded = hmm::LoadHmmFromFile<double>(path);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
   double ll_after = hmm::DatasetLogLikelihood(loaded.value(), data);
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
   // 4. Resume training from the checkpoint.
   hmm::HmmModel<double> resumed = std::move(loaded).value();
   opts.max_iters = 20;
-  core::DiversifiedFitResult more = core::FitDiversifiedHmm(&resumed, data, opts);
+  core::DiversifiedFitResult more =
+      core::FitDiversifiedHmm(&resumed, data, opts);
   std::printf("resumed %d more iterations, loglik %.4f -> %.4f\n",
               more.iterations, ll_after,
               hmm::DatasetLogLikelihood(resumed, data));

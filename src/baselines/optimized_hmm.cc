@@ -42,16 +42,20 @@ void OptimizedHmm::Fit(const hmm::Dataset<prob::BinaryObs>& data) {
   }
 
   double best_acc = -1.0;
+  // One workspace for the whole grid search: the emission table and Viterbi
+  // tables are recomputed per (pseudo, w, sequence) but never reallocated.
+  hmm::InferenceWorkspace ws;
+  hmm::ViterbiResult decoded;
   for (double pseudo : options_.transition_pseudo_counts) {
     hmm::HmmModel<prob::BinaryObs> candidate = FitCounts(train, pseudo);
     for (double w : options_.emission_weights) {
       // Decode validation with weight w.
       eval::LabelSequences pred, gold;
       for (const auto& seq : val) {
-        linalg::Matrix log_b = candidate.emission->LogProbTable(seq.obs);
-        log_b *= w;
-        pred.push_back(
-            hmm::Viterbi(candidate.pi, candidate.a, log_b).path);
+        candidate.emission->LogProbTableInto(seq.obs, &ws.log_b);
+        ws.log_b *= w;
+        hmm::Viterbi(candidate.pi, candidate.a, ws.log_b, &ws, &decoded);
+        pred.push_back(decoded.path);
         gold.push_back(seq.labels);
       }
       double acc = eval::FrameAccuracy(pred, gold);
@@ -68,9 +72,12 @@ void OptimizedHmm::Fit(const hmm::Dataset<prob::BinaryObs>& data) {
 
 std::vector<int> OptimizedHmm::Decode(
     const std::vector<prob::BinaryObs>& obs) const {
-  linalg::Matrix log_b = model_.emission->LogProbTable(obs);
-  log_b *= emission_weight_;
-  return hmm::Viterbi(model_.pi, model_.a, log_b).path;
+  hmm::InferenceWorkspace ws;
+  model_.emission->LogProbTableInto(obs, &ws.log_b);
+  ws.log_b *= emission_weight_;
+  hmm::ViterbiResult decoded;
+  hmm::Viterbi(model_.pi, model_.a, ws.log_b, &ws, &decoded);
+  return std::move(decoded.path);
 }
 
 }  // namespace dhmm::baselines

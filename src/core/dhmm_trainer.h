@@ -33,6 +33,9 @@ struct DiversifiedEmOptions {
   double row_floor = 1e-10;
   bool update_pi = true;
   bool update_emission = true;
+  /// E-step worker threads (see hmm::BatchOptions::num_threads). Any value
+  /// produces bitwise-identical fits; this is purely a throughput knob.
+  int num_threads = 1;
 };
 
 /// Fit diagnostics for the diversified trainer.
@@ -73,15 +76,21 @@ DiversifiedFitResult FitDiversifiedHmm(hmm::HmmModel<Obs>* model,
   em.max_iters = 1;
   em.update_pi = options.update_pi;
   em.update_emission = options.update_emission;
+  em.num_threads = options.num_threads;
   em.transition_m_step = [&](const linalg::Matrix& counts,
                              const linalg::Matrix& a_old) {
     return UpdateTransitions(a_old, counts, update_opts).a;
   };
 
+  // One engine for the whole outer loop: its worker pool and per-thread
+  // workspaces persist across the max_iters single-step FitEm calls, so the
+  // E-step stays allocation-free after the first outer iteration.
+  hmm::BatchEmEngine<Obs> engine(hmm::BatchOptions{em.num_threads});
+
   DiversifiedFitResult result;
   double prev = -std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iters; ++iter) {
-    hmm::EmResult one = hmm::FitEm(model, data, em);
+    hmm::EmResult one = hmm::FitEm(model, data, em, &engine);
     double log_det = dpp::LogDetNormalizedKernel(model->a, options.rho);
     double map_obj = one.final_loglik + options.alpha * log_det;
     result.loglik_history.push_back(one.final_loglik);

@@ -3,7 +3,7 @@
 // Maximizes over row-stochastic A:
 //   F(A) = sum_ij C_ij log A_ij                 (expected/observed counts)
 //        + alpha * log det K~_A                 (DPP diversity prior, Eq. 6)
-//        - tether_weight * ||A - A0||_F^2       (supervised drift penalty, Eq. 8)
+//        - tether_weight * ||A - A0||_F^2      (supervised drift, Eq. 8)
 // by projected gradient ascent with adaptive step size and per-row Euclidean
 // simplex projection (Eq. 17).
 #ifndef DHMM_CORE_TRANSITION_UPDATE_H_
@@ -56,9 +56,9 @@ double TransitionObjective(const linalg::Matrix& a,
 /// \param counts  k x k non-negative transition counts C (expected counts in
 ///                the unsupervised M-step; hard counts in the supervised
 ///                objective).
-TransitionUpdateResult UpdateTransitions(const linalg::Matrix& a_init,
-                                         const linalg::Matrix& counts,
-                                         const TransitionUpdateOptions& options);
+TransitionUpdateResult UpdateTransitions(
+    const linalg::Matrix& a_init, const linalg::Matrix& counts,
+    const TransitionUpdateOptions& options);
 
 }  // namespace dhmm::core
 

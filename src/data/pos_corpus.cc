@@ -83,11 +83,12 @@ linalg::Vector ZipfWeights(size_t m, double exponent) {
 
 size_t SampleLength(const PosCorpusOptions& options, prob::Rng& rng) {
   // Geometric tail above the minimum length, clamped to the paper's range.
-  double mean_extra =
-      std::max(1.0, options.mean_length - static_cast<double>(options.min_length));
+  double mean_extra = std::max(
+      1.0, options.mean_length - static_cast<double>(options.min_length));
   double p = 1.0 / mean_extra;
   double u = rng.Uniform();
-  size_t extra = static_cast<size_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+  size_t extra =
+      static_cast<size_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
   return std::min(options.max_length, options.min_length + extra);
 }
 

@@ -1,4 +1,5 @@
-// Elementary symmetric polynomials e_k(lambda) — the k-DPP normalizer (Eq. 1).
+// Elementary symmetric polynomials e_k(lambda) — the k-DPP normalizer
+// (Eq. 1).
 #ifndef DHMM_DPP_ESP_H_
 #define DHMM_DPP_ESP_H_
 

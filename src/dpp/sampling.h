@@ -1,5 +1,6 @@
 // Exact sampling from discrete DPPs and k-DPPs (Hough et al.; Kulesza &
-// Taskar Algorithms 1 and 8). Background machinery from the paper's §2.2/§3.1;
+// Taskar Algorithms 1 and 8). Background machinery from the paper's
+// §2.2/§3.1;
 // used by the diversity-playground example and by tests that validate the
 // repulsion property of the kernels the dHMM prior is built on.
 #ifndef DHMM_DPP_SAMPLING_H_

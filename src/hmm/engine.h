@@ -1,0 +1,144 @@
+// The batched inference engine: data-parallel, allocation-free E-steps.
+//
+// One BatchEmEngine owns a persistent worker pool plus one InferenceWorkspace
+// per worker and a per-sequence result slot per dataset entry. Sequences fan
+// out across the pool dynamically (long sequences self-balance), every
+// per-sequence statistic lands in its own slot, and all reductions —
+// pi_acc, trans_acc, and emission sufficient statistics — run on the calling
+// thread in ascending sequence order. That fixed reduction order makes the
+// engine's output bitwise-identical for every thread count, including the
+// inline single-threaded path, which tests/engine_test.cc pins.
+//
+// After the first pass over a dataset the engine performs no heap
+// allocations: workspaces and result slots are Resize()d in place and only
+// grow (see linalg::Matrix::Resize).
+#ifndef DHMM_HMM_ENGINE_H_
+#define DHMM_HMM_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/sequence.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dhmm::hmm {
+
+/// Options for the batched engine.
+struct BatchOptions {
+  /// Worker threads for the E-step / decode fan-out, including the calling
+  /// thread. 1 runs inline; <= 0 selects std::thread::hardware_concurrency().
+  /// Results are identical for every value.
+  int num_threads = 1;
+};
+
+/// \brief Sufficient statistics of one exact E-step over a dataset.
+struct EStepStats {
+  linalg::Vector pi_acc;     ///< k — summed gamma(0, .) over sequences
+  linalg::Matrix trans_acc;  ///< k x k — summed xi over sequences
+  double log_likelihood = 0.0;  ///< total data log-likelihood
+};
+
+/// \brief Reusable batched driver for E-steps, likelihoods, and decodes.
+///
+/// Thread-compatible, not thread-safe: one engine serves one training loop.
+template <typename Obs>
+class BatchEmEngine {
+ public:
+  explicit BatchEmEngine(const BatchOptions& options = {})
+      : pool_(options.num_threads),
+        workspaces_(static_cast<size_t>(pool_.num_threads())) {}
+
+  /// Resolved thread count (after the <= 0 -> hardware mapping).
+  int num_threads() const { return pool_.num_threads(); }
+
+  /// \brief Runs one exact E-step (scaled forward-backward per sequence).
+  ///
+  /// When `emission_acc` is non-null the engine calls BeginAccumulate() and
+  /// feeds every frame's posterior into it in (sequence, frame) order; the
+  /// caller runs FinishAccumulate() as part of its M-step. The accumulator's
+  /// LogProb/LogProbTableInto must be const-thread-safe (all in-tree emission
+  /// families are: their tables are read-only between M-steps).
+  EStepStats EStep(const HmmModel<Obs>& model, const Dataset<Obs>& data,
+                   prob::EmissionModel<Obs>* emission_acc = nullptr) {
+    const size_t k = model.num_states();
+    per_seq_.resize(data.size());
+    pool_.ParallelFor(data.size(), [&](int worker, size_t s) {
+      InferenceWorkspace& ws = workspaces_[static_cast<size_t>(worker)];
+      const Sequence<Obs>& seq = data[s];
+      DHMM_CHECK_MSG(seq.length() > 0, "dataset contains an empty sequence");
+      model.emission->LogProbTableInto(seq.obs, &ws.log_b);
+      ForwardBackward(model.pi, model.a, ws.log_b, &ws, &per_seq_[s]);
+    });
+
+    EStepStats stats;
+    stats.pi_acc.Resize(k);
+    stats.trans_acc.Resize(k, k);
+    stats.trans_acc.Fill(0.0);
+    if (emission_acc != nullptr) emission_acc->BeginAccumulate();
+    qrow_.Resize(k);
+    for (size_t s = 0; s < data.size(); ++s) {
+      const ForwardBackwardResult& fb = per_seq_[s];
+      stats.log_likelihood += fb.log_likelihood;
+      for (size_t i = 0; i < k; ++i) stats.pi_acc[i] += fb.gamma(0, i);
+      stats.trans_acc += fb.xi_sum;
+      if (emission_acc != nullptr) {
+        for (size_t t = 0; t < data[s].length(); ++t) {
+          for (size_t i = 0; i < k; ++i) qrow_[i] = fb.gamma(t, i);
+          emission_acc->Accumulate(data[s].obs[t], qrow_);
+        }
+      }
+    }
+    return stats;
+  }
+
+  /// \brief Total dataset log-likelihood (forward passes fan out; the sum
+  /// runs in sequence order, so it too is thread-count-invariant).
+  double LogLikelihood(const HmmModel<Obs>& model, const Dataset<Obs>& data) {
+    seq_loglik_.resize(data.size());
+    pool_.ParallelFor(data.size(), [&](int worker, size_t s) {
+      InferenceWorkspace& ws = workspaces_[static_cast<size_t>(worker)];
+      model.emission->LogProbTableInto(data[s].obs, &ws.log_b);
+      seq_loglik_[s] = hmm::LogLikelihood(model.pi, model.a, ws.log_b, &ws);
+    });
+    double total = 0.0;
+    for (double ll : seq_loglik_) total += ll;
+    return total;
+  }
+
+  /// \brief Viterbi-decodes every sequence across the pool.
+  std::vector<std::vector<int>> Decode(const HmmModel<Obs>& model,
+                                       const Dataset<Obs>& data) {
+    std::vector<std::vector<int>> paths(data.size());
+    pool_.ParallelFor(data.size(), [&](int worker, size_t s) {
+      InferenceWorkspace& ws = workspaces_[static_cast<size_t>(worker)];
+      model.emission->LogProbTableInto(data[s].obs, &ws.log_b);
+      ViterbiResult res;
+      Viterbi(model.pi, model.a, ws.log_b, &ws, &res);
+      paths[s] = std::move(res.path);
+    });
+    return paths;
+  }
+
+ private:
+  util::ThreadPool pool_;
+  std::vector<InferenceWorkspace> workspaces_;      // one per worker
+  std::vector<ForwardBackwardResult> per_seq_;      // one slot per sequence
+  std::vector<double> seq_loglik_;
+  linalg::Vector qrow_;  // scratch posterior row for emission accumulation
+};
+
+/// \brief One-shot convenience wrapper when no engine is being reused.
+template <typename Obs>
+EStepStats BatchEStep(const HmmModel<Obs>& model, const Dataset<Obs>& data,
+                      const BatchOptions& options = {},
+                      prob::EmissionModel<Obs>* emission_acc = nullptr) {
+  BatchEmEngine<Obs> engine(options);
+  return engine.EStep(model, data, emission_acc);
+}
+
+}  // namespace dhmm::hmm
+
+#endif  // DHMM_HMM_ENGINE_H_

@@ -9,79 +9,89 @@ namespace dhmm::hmm {
 
 namespace {
 
-// Shifted emission probabilities for frame t: btilde(i) = exp(logb_i - m_t).
-// Returns the shift m_t. At least one entry of btilde is exactly 1.
-double ShiftedEmissions(const linalg::Matrix& log_b, size_t t,
-                        linalg::Vector* btilde) {
+// Fills ws->btilde / ws->shift with the shifted emissions for every frame:
+// btilde(t, i) = exp(log_b(t, i) - m_t) with m_t = max_i log_b(t, i), so at
+// least one entry per row is exactly 1. Computed once per sequence and shared
+// by the forward, backward, and xi loops (the seed code recomputed the same
+// row up to three times per frame).
+void PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
+                                InferenceWorkspace* ws) {
+  const size_t big_t = log_b.rows();
   const size_t k = log_b.cols();
-  double m = prob::kNegInf;
-  for (size_t i = 0; i < k; ++i) m = std::max(m, log_b(t, i));
-  DHMM_CHECK_MSG(m != prob::kNegInf,
-                 "frame has zero emission probability in every state");
-  for (size_t i = 0; i < k; ++i) {
-    (*btilde)[i] = std::exp(log_b(t, i) - m);
+  ws->btilde.Resize(big_t, k);
+  ws->shift.Resize(big_t);
+  for (size_t t = 0; t < big_t; ++t) {
+    const double* row = log_b.row_data(t);
+    double m = prob::kNegInf;
+    for (size_t i = 0; i < k; ++i) m = std::max(m, row[i]);
+    DHMM_CHECK_MSG(m != prob::kNegInf,
+                   "frame has zero emission probability in every state");
+    double* out = ws->btilde.row_data(t);
+    for (size_t i = 0; i < k; ++i) out[i] = std::exp(row[i] - m);
+    ws->shift[t] = m;
   }
-  return m;
 }
 
 }  // namespace
 
-ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
-                                      const linalg::Matrix& a,
-                                      const linalg::Matrix& log_b) {
+void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* out) {
   const size_t k = pi.size();
   const size_t big_t = log_b.rows();
+  DHMM_CHECK(ws != nullptr && out != nullptr);
   DHMM_CHECK(a.rows() == k && a.cols() == k);
   DHMM_CHECK(log_b.cols() == k);
   DHMM_CHECK_MSG(big_t > 0, "empty sequence");
 
-  ForwardBackwardResult out;
-  out.gamma = linalg::Matrix(big_t, k);
-  out.xi_sum = linalg::Matrix(k, k);
+  out->gamma.Resize(big_t, k);
+  out->xi_sum.Resize(k, k);
+  out->xi_sum.Fill(0.0);
+
+  PrecomputeShiftedEmissions(log_b, ws);
+  ws->alpha_hat.Resize(big_t, k);
+  ws->beta_hat.Resize(big_t, k);
+  ws->scale.Resize(big_t);
+  linalg::Matrix& alpha_hat = ws->alpha_hat;
+  linalg::Matrix& beta_hat = ws->beta_hat;
+  const linalg::Matrix& btilde = ws->btilde;
+  linalg::Vector& scale = ws->scale;
 
   // Forward pass with per-step normalization (scale c_t) and per-frame
   // emission shifts m_t: log P(Y) = sum_t (log c_t + m_t).
-  linalg::Matrix alpha_hat(big_t, k);
-  linalg::Vector scale(big_t);
-  linalg::Vector btilde(k);
   double loglik = 0.0;
-
-  double m = ShiftedEmissions(log_b, 0, &btilde);
   double c = 0.0;
   for (size_t i = 0; i < k; ++i) {
-    alpha_hat(0, i) = pi[i] * btilde[i];
+    alpha_hat(0, i) = pi[i] * btilde(0, i);
     c += alpha_hat(0, i);
   }
   DHMM_CHECK_MSG(c > 0.0, "initial frame has zero probability under pi");
   for (size_t i = 0; i < k; ++i) alpha_hat(0, i) /= c;
   scale[0] = c;
-  loglik += std::log(c) + m;
+  loglik += std::log(c) + ws->shift[0];
 
   for (size_t t = 1; t < big_t; ++t) {
-    m = ShiftedEmissions(log_b, t, &btilde);
     c = 0.0;
     for (size_t j = 0; j < k; ++j) {
       double s = 0.0;
       for (size_t i = 0; i < k; ++i) s += alpha_hat(t - 1, i) * a(i, j);
-      alpha_hat(t, j) = s * btilde[j];
+      alpha_hat(t, j) = s * btilde(t, j);
       c += alpha_hat(t, j);
     }
     DHMM_CHECK_MSG(c > 0.0, "forward message vanished (unreachable frame)");
     for (size_t j = 0; j < k; ++j) alpha_hat(t, j) /= c;
     scale[t] = c;
-    loglik += std::log(c) + m;
+    loglik += std::log(c) + ws->shift[t];
   }
-  out.log_likelihood = loglik;
+  out->log_likelihood = loglik;
 
   // Backward pass using the same scales.
-  linalg::Matrix beta_hat(big_t, k);
   for (size_t i = 0; i < k; ++i) beta_hat(big_t - 1, i) = 1.0;
   for (size_t t = big_t - 1; t-- > 0;) {
-    ShiftedEmissions(log_b, t + 1, &btilde);
     for (size_t i = 0; i < k; ++i) {
       double s = 0.0;
       for (size_t j = 0; j < k; ++j) {
-        s += a(i, j) * btilde[j] * beta_hat(t + 1, j);
+        s += a(i, j) * btilde(t + 1, j) * beta_hat(t + 1, j);
       }
       beta_hat(t, i) = s / scale[t + 1];
     }
@@ -91,35 +101,61 @@ ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
   for (size_t t = 0; t < big_t; ++t) {
     double norm = 0.0;
     for (size_t i = 0; i < k; ++i) {
-      out.gamma(t, i) = alpha_hat(t, i) * beta_hat(t, i);
-      norm += out.gamma(t, i);
+      out->gamma(t, i) = alpha_hat(t, i) * beta_hat(t, i);
+      norm += out->gamma(t, i);
     }
     DHMM_CHECK(norm > 0.0);
-    for (size_t i = 0; i < k; ++i) out.gamma(t, i) /= norm;
+    for (size_t i = 0; i < k; ++i) out->gamma(t, i) /= norm;
   }
   for (size_t t = 1; t < big_t; ++t) {
-    ShiftedEmissions(log_b, t, &btilde);
     for (size_t i = 0; i < k; ++i) {
       double ai = alpha_hat(t - 1, i);
       if (ai == 0.0) continue;
       for (size_t j = 0; j < k; ++j) {
-        out.xi_sum(i, j) +=
-            ai * a(i, j) * btilde[j] * beta_hat(t, j) / scale[t];
+        out->xi_sum(i, j) +=
+            ai * a(i, j) * btilde(t, j) * beta_hat(t, j) / scale[t];
       }
     }
   }
+}
+
+ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const linalg::Matrix& log_b) {
+  InferenceWorkspace ws;
+  ForwardBackwardResult out;
+  ForwardBackward(pi, a, log_b, &ws, &out);
   return out;
 }
 
 double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b) {
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws) {
   const size_t k = pi.size();
   const size_t big_t = log_b.rows();
+  DHMM_CHECK(ws != nullptr);
   DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
   DHMM_CHECK(big_t > 0);
-  linalg::Vector alpha(k), next(k), btilde(k);
+  ws->alpha.Resize(k);
+  ws->alpha_next.Resize(k);
+  ws->frame.Resize(k);
+  linalg::Vector& alpha = ws->alpha;
+  linalg::Vector& next = ws->alpha_next;
+  linalg::Vector& btilde = ws->frame;
+
+  // One frame of shifted emissions at a time: the forward-only pass never
+  // revisits a frame, so a full T x k cache would be wasted work.
+  auto shifted = [&](size_t t) {
+    const double* row = log_b.row_data(t);
+    double m = prob::kNegInf;
+    for (size_t i = 0; i < k; ++i) m = std::max(m, row[i]);
+    DHMM_CHECK_MSG(m != prob::kNegInf,
+                   "frame has zero emission probability in every state");
+    for (size_t i = 0; i < k; ++i) btilde[i] = std::exp(row[i] - m);
+    return m;
+  };
+
   double loglik = 0.0;
-  double m = ShiftedEmissions(log_b, 0, &btilde);
+  double m = shifted(0);
   double c = 0.0;
   for (size_t i = 0; i < k; ++i) {
     alpha[i] = pi[i] * btilde[i];
@@ -129,7 +165,7 @@ double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
   for (size_t i = 0; i < k; ++i) alpha[i] /= c;
   loglik += std::log(c) + m;
   for (size_t t = 1; t < big_t; ++t) {
-    m = ShiftedEmissions(log_b, t, &btilde);
+    m = shifted(t);
     c = 0.0;
     for (size_t j = 0; j < k; ++j) {
       double s = 0.0;
@@ -144,46 +180,62 @@ double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
   return loglik;
 }
 
-ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
-                      const linalg::Matrix& log_b) {
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b) {
+  InferenceWorkspace ws;
+  return LogLikelihood(pi, a, log_b, &ws);
+}
+
+void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+             const linalg::Matrix& log_b, InferenceWorkspace* ws,
+             ViterbiResult* out) {
   const size_t k = pi.size();
   const size_t big_t = log_b.rows();
+  DHMM_CHECK(ws != nullptr && out != nullptr);
   DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
   DHMM_CHECK(big_t > 0);
 
   // Log-domain tables.
-  linalg::Vector log_pi(k);
+  ws->log_pi.Resize(k);
+  ws->log_a.Resize(k, k);
   for (size_t i = 0; i < k; ++i) {
-    log_pi[i] = pi[i] > 0.0 ? std::log(pi[i]) : prob::kNegInf;
+    ws->log_pi[i] = pi[i] > 0.0 ? std::log(pi[i]) : prob::kNegInf;
   }
-  linalg::Matrix log_a(k, k);
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < k; ++j) {
-      log_a(i, j) = a(i, j) > 0.0 ? std::log(a(i, j)) : prob::kNegInf;
+      ws->log_a(i, j) = a(i, j) > 0.0 ? std::log(a(i, j)) : prob::kNegInf;
     }
   }
 
-  linalg::Matrix delta(big_t, k);
-  std::vector<std::vector<int>> psi(big_t, std::vector<int>(k, -1));
-  for (size_t i = 0; i < k; ++i) delta(0, i) = log_pi[i] + log_b(0, i);
+  ws->delta.Resize(big_t, k);
+  // Backpointers as one flat row-major T*k buffer: psi[t * k + j] is the
+  // best predecessor of state j at frame t. The seed code used a
+  // vector<vector<int>> (T separate heap allocations per decode).
+  ws->psi.resize(big_t * k);
+  linalg::Matrix& delta = ws->delta;
+  std::vector<int>& psi = ws->psi;
+
+  for (size_t i = 0; i < k; ++i) delta(0, i) = ws->log_pi[i] + log_b(0, i);
   for (size_t t = 1; t < big_t; ++t) {
+    int* psi_row = psi.data() + t * k;
     for (size_t j = 0; j < k; ++j) {
+      // Strict > keeps the lowest-index predecessor on ties (pinned by
+      // tests/engine_test.cc).
       double best = prob::kNegInf;
       int arg = 0;
       for (size_t i = 0; i < k; ++i) {
-        double v = delta(t - 1, i) + log_a(i, j);
+        double v = delta(t - 1, i) + ws->log_a(i, j);
         if (v > best) {
           best = v;
           arg = static_cast<int>(i);
         }
       }
       delta(t, j) = best + log_b(t, j);
-      psi[t][j] = arg;
+      psi_row[j] = arg;
     }
   }
 
-  ViterbiResult out;
-  out.path.resize(big_t);
+  out->path.resize(big_t);
   double best = prob::kNegInf;
   int arg = 0;
   for (size_t i = 0; i < k; ++i) {
@@ -192,12 +244,20 @@ ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
       arg = static_cast<int>(i);
     }
   }
-  DHMM_CHECK_MSG(best != prob::kNegInf, "no state path has positive probability");
-  out.log_joint = best;
-  out.path[big_t - 1] = arg;
+  DHMM_CHECK_MSG(best != prob::kNegInf,
+                 "no state path has positive probability");
+  out->log_joint = best;
+  out->path[big_t - 1] = arg;
   for (size_t t = big_t - 1; t-- > 0;) {
-    out.path[t] = psi[t + 1][out.path[t + 1]];
+    out->path[t] = psi[(t + 1) * k + out->path[t + 1]];
   }
+}
+
+ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                      const linalg::Matrix& log_b) {
+  InferenceWorkspace ws;
+  ViterbiResult out;
+  Viterbi(pi, a, log_b, &ws, &out);
   return out;
 }
 

@@ -4,6 +4,12 @@
 // All routines operate on a per-sequence table of emission log-probabilities
 // (T x k), which decouples the chain algebra from the emission family and
 // makes the recursions testable against brute-force enumeration.
+//
+// Every routine comes in two flavours: a convenience form that allocates its
+// own scratch space, and a hot-path form taking an InferenceWorkspace whose
+// buffers are reused across calls. The batched EM engine (hmm/engine.h) keeps
+// one workspace per worker thread and runs entire training jobs without
+// touching the allocator after warm-up.
 #ifndef DHMM_HMM_INFERENCE_H_
 #define DHMM_HMM_INFERENCE_H_
 
@@ -13,6 +19,36 @@
 #include "linalg/vector.h"
 
 namespace dhmm::hmm {
+
+/// \brief Reusable scratch buffers for the inference kernels.
+///
+/// A workspace is sized lazily by the routine that uses it and only grows:
+/// once it has seen the longest sequence in a dataset it never allocates
+/// again. Workspaces are cheap to default-construct and must not be shared
+/// across threads concurrently (the batched engine keeps one per worker).
+struct InferenceWorkspace {
+  // Forward-backward scratch.
+  linalg::Matrix alpha_hat;  ///< T x k scaled forward messages
+  linalg::Matrix beta_hat;   ///< T x k scaled backward messages
+  linalg::Matrix btilde;     ///< T x k cached shifted emissions exp(logb - m_t)
+  linalg::Vector shift;      ///< T per-frame emission shifts m_t
+  linalg::Vector scale;      ///< T forward normalizers c_t
+
+  // Viterbi scratch.
+  linalg::Matrix delta;      ///< T x k best log-joint per state
+  std::vector<int> psi;      ///< flat row-major T*k backpointers
+  linalg::Vector log_pi;     ///< k log initial distribution
+  linalg::Matrix log_a;      ///< k x k log transition matrix
+
+  // Forward-only scratch (LogLikelihood).
+  linalg::Vector alpha;      ///< k current forward message
+  linalg::Vector alpha_next; ///< k next forward message
+  linalg::Vector frame;      ///< k one frame of shifted emissions
+
+  // Cached per-sequence emission table, filled by callers that own the
+  // emission model (e.g. the batched EM engine via LogProbTableInto).
+  linalg::Matrix log_b;      ///< T x k
+};
 
 /// \brief Posterior marginals produced by one forward-backward pass.
 struct ForwardBackwardResult {
@@ -34,14 +70,27 @@ struct ForwardBackwardResult {
 /// Scaling: each frame's emissions are shifted by their max before
 /// exponentiation and the forward messages renormalized per step, so the pass
 /// is stable for arbitrarily peaked emissions (e.g. 128-pixel Bernoulli
-/// products at log-prob ~ -90).
+/// products at log-prob ~ -90). The shifted emissions are computed exactly
+/// once per frame into the workspace's cached table and shared by the
+/// forward, backward, and xi-accumulation loops.
 ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
                                       const linalg::Matrix& a,
                                       const linalg::Matrix& log_b);
 
+/// \brief Workspace form: reuses `ws` buffers and writes into `*out`,
+/// resizing out->gamma / out->xi_sum in place. Bitwise-identical results to
+/// the allocating form.
+void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* out);
+
 /// \brief log P(Y | lambda) only (forward pass).
 double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
                      const linalg::Matrix& log_b);
+
+/// \brief Workspace form of LogLikelihood (allocation-free after warm-up).
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws);
 
 /// \brief Result of Viterbi decoding.
 struct ViterbiResult {
@@ -50,8 +99,19 @@ struct ViterbiResult {
 };
 
 /// \brief Most-likely state sequence via the Viterbi recursion (log domain).
+///
+/// Tie-breaking contract: when several predecessors (or final states) attain
+/// the same score, the lowest state index wins. Tests pin this so storage
+/// rewrites cannot silently change decoded paths.
 ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
                       const linalg::Matrix& log_b);
+
+/// \brief Workspace form: backpointers live in the workspace's flat
+/// row-major `psi` buffer (one allocation for the whole table, reused across
+/// calls) instead of T separate heap rows.
+void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+             const linalg::Matrix& log_b, InferenceWorkspace* ws,
+             ViterbiResult* out);
 
 }  // namespace dhmm::hmm
 

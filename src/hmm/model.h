@@ -18,7 +18,7 @@ namespace dhmm::hmm {
 template <typename Obs>
 struct HmmModel {
   linalg::Vector pi;                                   ///< k
-  linalg::Matrix a;                                    ///< k x k, row-stochastic
+  linalg::Matrix a;                                    ///< k x k, row-stoch.
   std::unique_ptr<prob::EmissionModel<Obs>> emission;  ///< B
 
   HmmModel() = default;

@@ -2,14 +2,30 @@
 
 namespace dhmm::hmm {
 
+void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* fb, std::vector<int>* path) {
+  ForwardBackward(pi, a, log_b, ws, fb);
+  const size_t big_t = log_b.rows();
+  const size_t k = log_b.cols();
+  path->resize(big_t);
+  for (size_t t = 0; t < big_t; ++t) {
+    const double* row = fb->gamma.row_data(t);
+    size_t arg = 0;
+    for (size_t i = 1; i < k; ++i) {
+      if (row[i] > row[arg]) arg = i;
+    }
+    (*path)[t] = static_cast<int>(arg);
+  }
+}
+
 std::vector<int> PosteriorDecode(const linalg::Vector& pi,
                                  const linalg::Matrix& a,
                                  const linalg::Matrix& log_b) {
-  ForwardBackwardResult fb = ForwardBackward(pi, a, log_b);
-  std::vector<int> path(log_b.rows());
-  for (size_t t = 0; t < log_b.rows(); ++t) {
-    path[t] = static_cast<int>(fb.gamma.Row(t).argmax());
-  }
+  InferenceWorkspace ws;
+  ForwardBackwardResult fb;
+  std::vector<int> path;
+  PosteriorDecode(pi, a, log_b, &ws, &fb, &path);
   return path;
 }
 

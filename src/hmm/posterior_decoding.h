@@ -20,15 +20,23 @@ std::vector<int> PosteriorDecode(const linalg::Vector& pi,
                                  const linalg::Matrix& a,
                                  const linalg::Matrix& log_b);
 
+/// \brief Workspace form: runs forward-backward through `ws`, leaves the
+/// marginals in `*fb`, and writes the per-frame argmax into `*path`
+/// (lowest state index on ties, matching Vector::argmax).
+void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* fb, std::vector<int>* path);
+
 /// \brief Posterior-decodes every sequence in a dataset.
 template <typename Obs>
 std::vector<std::vector<int>> PosteriorDecodeDataset(
     const HmmModel<Obs>& model, const Dataset<Obs>& data) {
-  std::vector<std::vector<int>> paths;
-  paths.reserve(data.size());
-  for (const auto& seq : data) {
-    paths.push_back(PosteriorDecode(model.pi, model.a,
-                                    model.emission->LogProbTable(seq.obs)));
+  InferenceWorkspace ws;
+  ForwardBackwardResult fb;
+  std::vector<std::vector<int>> paths(data.size());
+  for (size_t s = 0; s < data.size(); ++s) {
+    model.emission->LogProbTableInto(data[s].obs, &ws.log_b);
+    PosteriorDecode(model.pi, model.a, ws.log_b, &ws, &fb, &paths[s]);
   }
   return paths;
 }

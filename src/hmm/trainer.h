@@ -4,6 +4,11 @@
 // between maximum-likelihood HMM training and the paper's MAP training is the
 // M-step update for the transition matrix (paper §3.5.1), which is injected
 // here as a callback.
+//
+// The E-step runs on the batched inference engine (hmm/engine.h): sequences
+// fan out across a worker pool sized by EmOptions::num_threads, per-thread
+// workspaces keep the hot path allocation-free, and the deterministic
+// reduction order makes the fit bitwise-identical for every thread count.
 #ifndef DHMM_HMM_TRAINER_H_
 #define DHMM_HMM_TRAINER_H_
 
@@ -12,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "hmm/engine.h"
 #include "hmm/inference.h"
 #include "hmm/model.h"
 #include "hmm/sequence.h"
@@ -32,7 +38,10 @@ struct EmOptions {
   bool update_pi = true;
   bool update_transitions = true;
   bool update_emission = true;
-  TransitionMStep transition_m_step;  ///< nullptr = ML row normalization
+  TransitionMStep transition_m_step = nullptr;  ///< ML row normalization
+  /// E-step worker threads (see BatchOptions::num_threads). Any value
+  /// produces bitwise-identical fits; this is purely a throughput knob.
+  int num_threads = 1;
 };
 
 /// Outcome of an EM fit.
@@ -43,54 +52,41 @@ struct EmResult {
   double final_loglik = 0.0;  ///< loglik of the final parameters
 };
 
-/// \brief Fits `model` to `data` by EM (Baum-Welch when no custom M-step).
+/// \brief Fits `model` to `data` by EM on a caller-provided engine.
 ///
 /// The E-step computes exact posteriors with scaled forward-backward; the
 /// M-step re-estimates pi (expected initial-state counts), A (via the
 /// callback), and the emission model (via its sufficient statistics).
+/// Callers running many fits (e.g. the outer MAP-EM loop) pass a persistent
+/// engine so workspaces survive across calls.
 template <typename Obs>
 EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
-               const EmOptions& options = {}) {
-  DHMM_CHECK(model != nullptr);
+               const EmOptions& options, BatchEmEngine<Obs>* engine) {
+  DHMM_CHECK(model != nullptr && engine != nullptr);
   model->Validate();
   DHMM_CHECK_MSG(!data.empty(), "cannot fit to an empty dataset");
-  const size_t k = model->num_states();
 
   EmResult result;
   double prev_loglik = -std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iters; ++iter) {
-    linalg::Vector pi_acc(k);
-    linalg::Matrix trans_acc(k, k);
-    if (options.update_emission) model->emission->BeginAccumulate();
-
-    double loglik = 0.0;
-    for (const auto& seq : data) {
-      DHMM_CHECK_MSG(seq.length() > 0, "dataset contains an empty sequence");
-      linalg::Matrix log_b = model->emission->LogProbTable(seq.obs);
-      ForwardBackwardResult fb = ForwardBackward(model->pi, model->a, log_b);
-      loglik += fb.log_likelihood;
-      for (size_t i = 0; i < k; ++i) pi_acc[i] += fb.gamma(0, i);
-      trans_acc += fb.xi_sum;
-      if (options.update_emission) {
-        for (size_t t = 0; t < seq.length(); ++t) {
-          model->emission->Accumulate(seq.obs[t], fb.gamma.Row(t));
-        }
-      }
-    }
+    EStepStats stats = engine->EStep(
+        *model, data,
+        options.update_emission ? model->emission.get() : nullptr);
+    const double loglik = stats.log_likelihood;
     result.loglik_history.push_back(loglik);
 
     // M-step.
     if (options.update_pi) {
-      pi_acc.NormalizeToSimplex();
-      model->pi = pi_acc;
+      stats.pi_acc.NormalizeToSimplex();
+      model->pi = stats.pi_acc;
     }
     if (options.update_transitions) {
       if (options.transition_m_step) {
-        model->a = options.transition_m_step(trans_acc, model->a);
+        model->a = options.transition_m_step(stats.trans_acc, model->a);
       } else {
-        linalg::Matrix a = trans_acc;
+        linalg::Matrix a = std::move(stats.trans_acc);
         a.NormalizeRows();
-        model->a = a;
+        model->a = std::move(a);
       }
     }
     if (options.update_emission) model->emission->FinishAccumulate();
@@ -112,23 +108,27 @@ EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
   }
 
   // Final loglik for the *updated* parameters.
-  double final_ll = 0.0;
-  for (const auto& seq : data) {
-    final_ll += LogLikelihood(model->pi, model->a,
-                              model->emission->LogProbTable(seq.obs));
-  }
-  result.final_loglik = final_ll;
+  result.final_loglik = engine->LogLikelihood(*model, data);
   return result;
+}
+
+/// \brief Fits with a throwaway engine sized by options.num_threads.
+template <typename Obs>
+EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
+               const EmOptions& options = {}) {
+  BatchEmEngine<Obs> engine(BatchOptions{options.num_threads});
+  return FitEm(model, data, options, &engine);
 }
 
 /// \brief Total data log-likelihood under a model.
 template <typename Obs>
 double DatasetLogLikelihood(const HmmModel<Obs>& model,
                             const Dataset<Obs>& data) {
+  InferenceWorkspace ws;
   double ll = 0.0;
   for (const auto& seq : data) {
-    ll += LogLikelihood(model.pi, model.a,
-                        model.emission->LogProbTable(seq.obs));
+    model.emission->LogProbTableInto(seq.obs, &ws.log_b);
+    ll += LogLikelihood(model.pi, model.a, ws.log_b, &ws);
   }
   return ll;
 }
@@ -137,12 +137,14 @@ double DatasetLogLikelihood(const HmmModel<Obs>& model,
 template <typename Obs>
 std::vector<std::vector<int>> DecodeDataset(const HmmModel<Obs>& model,
                                             const Dataset<Obs>& data) {
+  InferenceWorkspace ws;
   std::vector<std::vector<int>> paths;
   paths.reserve(data.size());
+  ViterbiResult res;
   for (const auto& seq : data) {
-    paths.push_back(
-        Viterbi(model.pi, model.a, model.emission->LogProbTable(seq.obs))
-            .path);
+    model.emission->LogProbTableInto(seq.obs, &ws.log_b);
+    Viterbi(model.pi, model.a, ws.log_b, &ws, &res);
+    paths.push_back(std::move(res.path));
   }
   return paths;
 }

@@ -68,7 +68,8 @@ SymmetricEigen::SymmetricEigen(const Matrix& a, int max_sweeps, double tol)
       }
     }
   }
-  if (!converged_ && std::sqrt(OffDiagonalNormSq(m)) <= 1e-8 * (1 + m.max_abs())) {
+  if (!converged_ &&
+      std::sqrt(OffDiagonalNormSq(m)) <= 1e-8 * (1 + m.max_abs())) {
     converged_ = true;  // good enough for downstream use
   }
 

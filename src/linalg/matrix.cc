@@ -57,6 +57,12 @@ void Matrix::Fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   DHMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];

@@ -73,6 +73,13 @@ class Matrix {
   /// Fills every entry with the given value.
   void Fill(double value);
 
+  /// Reshapes to rows x cols. Entry values are unspecified afterwards (this
+  /// is a buffer-reuse primitive, not a view change): callers must overwrite
+  /// or Fill() before reading. The underlying storage is reused when capacity
+  /// allows, so workspaces cycling through different sequence lengths stop
+  /// allocating once the high-water mark is reached.
+  void Resize(size_t rows, size_t cols);
+
   // --- arithmetic ----------------------------------------------------------
 
   Matrix& operator+=(const Matrix& other);

@@ -26,6 +26,13 @@ class Vector {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Changes the length to n. Existing entries are preserved up to min(size,
+  /// n); entries beyond the old length are zero. The underlying storage is
+  /// reused when capacity allows, so shrink/grow cycles (e.g. inference
+  /// workspaces visiting sequences of varying length) do not reallocate once
+  /// the high-water mark is reached.
+  void Resize(size_t n) { data_.resize(n, 0.0); }
+
   double operator[](size_t i) const {
     DHMM_DCHECK(i < data_.size());
     return data_[i];

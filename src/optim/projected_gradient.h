@@ -33,7 +33,7 @@ struct ProjectedGradientOptions {
   /// ascent creeps).
   double grow_factor = 2.5;
   int max_backtracks = 40;       ///< line-search budget per iteration
-  double tol = 1e-7;             ///< stop when objective gain < tol (Alg. 1 line 9)
+  double tol = 1e-7;       ///< stop when objective gain < tol (Alg. 1 l. 9)
   double min_step = 1e-14;       ///< give up backtracking below this gamma
 };
 

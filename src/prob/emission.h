@@ -58,13 +58,22 @@ class EmissionModel {
 
   /// Fills a T x k table of log p(y_t | X_t = i) for a whole sequence.
   linalg::Matrix LogProbTable(const std::vector<Obs>& seq) const {
-    linalg::Matrix table(seq.size(), num_states());
-    for (size_t t = 0; t < seq.size(); ++t) {
-      for (size_t i = 0; i < num_states(); ++i) {
-        table(t, i) = LogProb(i, seq[t]);
-      }
-    }
+    linalg::Matrix table;
+    LogProbTableInto(seq, &table);
     return table;
+  }
+
+  /// Allocation-free variant: resizes *table to T x k (reusing its storage
+  /// when possible) and overwrites every entry. This is the hot-path entry
+  /// point used by the batched EM engine's per-thread workspaces.
+  void LogProbTableInto(const std::vector<Obs>& seq,
+                        linalg::Matrix* table) const {
+    const size_t k = num_states();
+    table->Resize(seq.size(), k);
+    for (size_t t = 0; t < seq.size(); ++t) {
+      double* row = table->row_data(t);
+      for (size_t i = 0; i < k; ++i) row[i] = LogProb(i, seq[t]);
+    }
   }
 };
 

@@ -79,9 +79,11 @@ template <typename T>
 class Result {
  public:
   /// Implicit from value (success).
-  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : v_(std::move(value)) {}
   /// Implicit from non-OK status (failure). An OK status is a logic error and
-  /// is converted to an Internal error to keep the invariant "ok() == has value".
+  /// is converted to an Internal error to keep the invariant
+  /// "ok() == has value".
   Result(Status status) : v_(std::move(status)) {  // NOLINT
     if (std::get<Status>(v_).ok()) {
       v_ = Status::Internal("Result constructed from OK status without value");

@@ -101,8 +101,9 @@ std::string AsciiSeriesChart(const std::vector<double>& xs,
     for (size_t i = 0; i < xs.size(); ++i) {
       int col = xs.size() <= 1
                     ? 0
-                    : static_cast<int>(std::lround(
-                          static_cast<double>(i) / (xs.size() - 1) * (width - 1)));
+                    : static_cast<int>(
+                          std::lround(static_cast<double>(i) /
+                                      (xs.size() - 1) * (width - 1)));
       int row = static_cast<int>(
           std::lround((series[si][i] - lo) / (hi - lo) * (height - 1)));
       row = height - 1 - std::clamp(row, 0, height - 1);
@@ -117,7 +118,8 @@ std::string AsciiSeriesChart(const std::vector<double>& xs,
   }
   out += StrFormat("%10.4g +", lo);
   out += std::string(width, '-') + "\n";
-  out += StrFormat("            x: [%.4g .. %.4g]   ", xs.empty() ? 0.0 : xs.front(),
+  out += StrFormat("            x: [%.4g .. %.4g]   ",
+                   xs.empty() ? 0.0 : xs.front(),
                    xs.empty() ? 0.0 : xs.back());
   for (size_t si = 0; si < series.size(); ++si) {
     out += StrFormat("%c=%s  ", marks[si % 6], names[si].c_str());

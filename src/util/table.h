@@ -38,7 +38,8 @@ class TextTable {
 ///
 /// Used for the paper's histogram figures (Fig. 4, Fig. 9, Table 1 row 2).
 std::string AsciiBarChart(const std::vector<std::string>& labels,
-                          const std::vector<double>& values, int max_width = 50);
+                          const std::vector<double>& values,
+                          int max_width = 50);
 
 /// \brief Renders an x/y series as an ASCII line chart (rows = value bins).
 ///

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dhmm::util {
+
+namespace {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainItems(int worker) {
+  // Dynamic scheduling: each worker repeatedly claims the next unclaimed
+  // item. Imbalanced item costs (sequences of wildly different lengths)
+  // self-balance without any up-front partitioning.
+  for (size_t i = next_item_.fetch_add(1, std::memory_order_relaxed);
+       i < task_size_;
+       i = next_item_.fetch_add(1, std::memory_order_relaxed)) {
+    (*task_)(worker, i);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    DrainItems(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(int, size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DHMM_CHECK_MSG(task_ == nullptr, "ThreadPool::ParallelFor re-entered");
+    task_ = &fn;
+    task_size_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    busy_workers_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  DrainItems(/*worker=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+    task_ = nullptr;
+  }
+}
+
+}  // namespace dhmm::util

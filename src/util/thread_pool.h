@@ -1,0 +1,67 @@
+// A small persistent worker pool for data-parallel loops.
+//
+// Built for the batched EM engine: one pool lives for a whole training job,
+// each ParallelFor fans a sequence batch out across the workers, and workers
+// are identified by a stable id in [0, num_threads) so callers can give each
+// one its own scratch workspace. Work items are handed out dynamically (an
+// atomic cursor), so the item -> worker assignment is nondeterministic;
+// callers that need deterministic results must write into per-item slots and
+// reduce in item order afterwards, which is exactly what the engine does.
+#ifndef DHMM_UTIL_THREAD_POOL_H_
+#define DHMM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dhmm::util {
+
+/// \brief Fixed-size pool of persistent worker threads.
+///
+/// `num_threads == 1` degenerates to inline execution on the calling thread
+/// with no worker threads, no locking, and no atomics on the hot path, so the
+/// single-threaded configuration costs nothing over a plain loop.
+class ThreadPool {
+ public:
+  /// \param num_threads total workers including the calling thread;
+  ///        <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (calling thread + background workers).
+  int num_threads() const { return num_threads_; }
+
+  /// \brief Calls fn(worker, item) for every item in [0, n) and blocks until
+  /// all calls return. `worker` is in [0, num_threads). The calling thread
+  /// participates as worker 0. `fn` must not throw and must not re-enter the
+  /// pool.
+  void ParallelFor(size_t n, const std::function<void(int, size_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  void DrainItems(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, size_t)>* task_ = nullptr;  // guarded by mu_
+  size_t task_size_ = 0;                                    // guarded by mu_
+  size_t generation_ = 0;                                   // guarded by mu_
+  int busy_workers_ = 0;                                    // guarded by mu_
+  bool shutdown_ = false;                                   // guarded by mu_
+  std::atomic<size_t> next_item_{0};
+};
+
+}  // namespace dhmm::util
+
+#endif  // DHMM_UTIL_THREAD_POOL_H_

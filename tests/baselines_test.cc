@@ -50,7 +50,9 @@ TEST(NaiveBayesTest, LearnsSeparableClasses) {
   NaiveBayesClassifier nb(data::kNumLetters, data::kGlyphDims);
   nb.Fit(split.train);
   std::vector<std::vector<int>> pred;
-  for (const auto& seq : split.test) pred.push_back(nb.PredictSequence(seq.obs));
+  for (const auto& seq : split.test) {
+    pred.push_back(nb.PredictSequence(seq.obs));
+  }
   EXPECT_GT(Accuracy(pred, split.test), 0.9);
 }
 
@@ -76,8 +78,12 @@ TEST(NaiveBayesTest, DegradesWithNoiseButNotBelowChance) {
   nb_noisy.Fit(ns.train);
 
   std::vector<std::vector<int>> pred_clean, pred_noisy;
-  for (const auto& s : cs.test) pred_clean.push_back(nb_clean.PredictSequence(s.obs));
-  for (const auto& s : ns.test) pred_noisy.push_back(nb_noisy.PredictSequence(s.obs));
+  for (const auto& s : cs.test) {
+    pred_clean.push_back(nb_clean.PredictSequence(s.obs));
+  }
+  for (const auto& s : ns.test) {
+    pred_noisy.push_back(nb_noisy.PredictSequence(s.obs));
+  }
   double acc_clean = Accuracy(pred_clean, cs.test);
   double acc_noisy = Accuracy(pred_noisy, ns.test);
   EXPECT_GT(acc_clean, acc_noisy);

@@ -277,7 +277,9 @@ TEST(DppSamplingTest, IdentityKernelMarginals) {
   linalg::Matrix l = linalg::Matrix::Identity(4) * 3.0;
   int count = 0;
   const int trials = 4000;
-  for (int t = 0; t < trials; ++t) count += static_cast<int>(SampleDpp(l, rng).size());
+  for (int t = 0; t < trials; ++t) {
+    count += static_cast<int>(SampleDpp(l, rng).size());
+  }
   double rate = count / (4.0 * trials);
   EXPECT_NEAR(rate, 0.75, 0.03);
 }

@@ -1,0 +1,253 @@
+// The batched inference engine: workspace kernels must reproduce the
+// allocating kernels bitwise, pinned pre-refactor values must survive the
+// cached-shifted-emissions and flat-backpointer rewrites, and every
+// batched reduction must be invariant to the thread count.
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dhmm_trainer.h"
+#include "data/toy.h"
+#include "hmm/engine.h"
+#include "hmm/inference.h"
+#include "hmm/trainer.h"
+#include "prob/rng.h"
+
+namespace dhmm::hmm {
+namespace {
+
+// Fixed 3-state, 4-frame chain used by the pinned regression tests.
+struct PinnedChain {
+  linalg::Vector pi{0.5, 0.3, 0.2};
+  linalg::Matrix a{{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.3, 0.3, 0.4}};
+  linalg::Matrix log_b{{-0.1, -1.2, -2.3},
+                       {-1.0, -0.2, -0.7},
+                       {-2.0, -0.3, -0.4},
+                       {-0.5, -0.9, -0.1}};
+};
+
+// Values computed by the seed implementation (which called ShiftedEmissions
+// up to three times per frame and used nested-vector backpointers) before
+// the workspace refactor. The rewrite must reproduce them to 1e-12.
+TEST(EngineRegressionTest, ForwardBackwardPinnedValues) {
+  PinnedChain c;
+  ForwardBackwardResult fb = ForwardBackward(c.pi, c.a, c.log_b);
+  EXPECT_NEAR(fb.log_likelihood, -2.3606710163800129, 1e-12);
+
+  const double gamma[4][3] = {
+      {0.75266503919421801, 0.2086403271407247, 0.038694633665057244},
+      {0.25799299104274015, 0.60056175305671933, 0.1414452559005405},
+      {0.089128556159183928, 0.56674813017857262, 0.34412331366224341},
+      {0.26565712157670701, 0.27519040703209308, 0.45915247139119991}};
+  const double xi[3][3] = {
+      {0.34716877050779182, 0.60757366383055422, 0.14504415205779636},
+      {0.15642284133557552, 0.6965333159862771, 0.52299405305416402},
+      {0.10918705693526387, 0.13839331045055389, 0.27668283584202347}};
+  for (size_t t = 0; t < 4; ++t) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(fb.gamma(t, i), gamma[t][i], 1e-12) << "t=" << t;
+    }
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(fb.xi_sum(i, j), xi[i][j], 1e-12) << "i=" << i;
+    }
+  }
+}
+
+TEST(EngineRegressionTest, ViterbiAndLogLikelihoodPinnedValues) {
+  PinnedChain c;
+  ViterbiResult vit = Viterbi(c.pi, c.a, c.log_b);
+  EXPECT_NEAR(vit.log_joint, -4.4942399697717628, 1e-12);
+  EXPECT_EQ(vit.path, (std::vector<int>{0, 1, 1, 2}));
+  EXPECT_NEAR(LogLikelihood(c.pi, c.a, c.log_b), -2.3606710163800129, 1e-12);
+}
+
+// Equal delta scores must resolve to the lowest state index, so storage
+// rewrites of the backpointer table cannot silently change decoded paths.
+TEST(ViterbiTest, TieBreaksToLowestStateIndex) {
+  const size_t k = 3, big_t = 5;
+  linalg::Vector pi(k, 1.0 / 3.0);
+  linalg::Matrix a(k, k, 1.0 / 3.0);
+  linalg::Matrix log_b(big_t, k, -1.25);  // every state ties at every frame
+  ViterbiResult vit = Viterbi(pi, a, log_b);
+  for (size_t t = 0; t < big_t; ++t) {
+    EXPECT_EQ(vit.path[t], 0) << "t=" << t;
+  }
+}
+
+TEST(ViterbiTest, TieBreakWithPartialTies) {
+  // States 1 and 2 tie as predecessors of every state; state 0 is worse.
+  linalg::Vector pi{0.0, 0.5, 0.5};
+  linalg::Matrix a{{0.8, 0.1, 0.1}, {0.25, 0.5, 0.25}, {0.25, 0.25, 0.5}};
+  linalg::Matrix log_b(3, 3, -0.5);
+  ViterbiResult vit = Viterbi(pi, a, log_b);
+  // pi ties states 1 and 2; both rows give the same transition scores into
+  // their best successors, so the backtrack must consistently pick the
+  // lower-numbered option.
+  EXPECT_EQ(vit.path[0], 1);
+}
+
+TEST(WorkspaceTest, MatchesAllocatingFormAcrossShapes) {
+  prob::Rng rng(91);
+  InferenceWorkspace ws;  // deliberately reused dirty across all shapes
+  ForwardBackwardResult batched;
+  ViterbiResult decoded;
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {5, 6}, {15, 24}, {26, 8}, {3, 250}, {15, 250}, {2, 1}};
+  for (auto [k, big_t] : shapes) {
+    linalg::Vector pi = rng.DirichletSymmetric(k, 1.5);
+    linalg::Matrix a = rng.RandomStochasticMatrix(k, k, 1.5);
+    linalg::Matrix log_b(big_t, k);
+    for (size_t t = 0; t < big_t; ++t) {
+      for (size_t i = 0; i < k; ++i) log_b(t, i) = -8.0 * rng.Uniform();
+    }
+
+    ForwardBackwardResult fresh = ForwardBackward(pi, a, log_b);
+    ForwardBackward(pi, a, log_b, &ws, &batched);
+    EXPECT_DOUBLE_EQ(batched.log_likelihood, fresh.log_likelihood);
+    ASSERT_EQ(batched.gamma.rows(), big_t);
+    for (size_t t = 0; t < big_t; ++t) {
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_DOUBLE_EQ(batched.gamma(t, i), fresh.gamma(t, i));
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        ASSERT_DOUBLE_EQ(batched.xi_sum(i, j), fresh.xi_sum(i, j));
+      }
+    }
+
+    EXPECT_DOUBLE_EQ(LogLikelihood(pi, a, log_b, &ws),
+                     LogLikelihood(pi, a, log_b));
+
+    ViterbiResult vit_fresh = Viterbi(pi, a, log_b);
+    Viterbi(pi, a, log_b, &ws, &decoded);
+    EXPECT_DOUBLE_EQ(decoded.log_joint, vit_fresh.log_joint);
+    EXPECT_EQ(decoded.path, vit_fresh.path);
+  }
+}
+
+// ----------------------------------------------------------- BatchEStep ---
+
+hmm::Dataset<double> MakeToyData(size_t num_sequences) {
+  prob::Rng rng(1234);
+  return data::GenerateToyDataset(/*sigma=*/0.4, num_sequences, /*length=*/6,
+                                  rng);
+}
+
+TEST(BatchEStepTest, MatchesHandRolledSequentialEStep) {
+  Dataset<double> data = MakeToyData(24);
+  HmmModel<double> model = data::ToyGroundTruthModel(0.4);
+  const size_t k = model.num_states();
+
+  // Reference: the seed FitEm E-step, spelled out sequentially.
+  linalg::Vector pi_acc(k);
+  linalg::Matrix trans_acc(k, k);
+  double loglik = 0.0;
+  for (const auto& seq : data) {
+    linalg::Matrix log_b = model.emission->LogProbTable(seq.obs);
+    ForwardBackwardResult fb = ForwardBackward(model.pi, model.a, log_b);
+    loglik += fb.log_likelihood;
+    for (size_t i = 0; i < k; ++i) pi_acc[i] += fb.gamma(0, i);
+    trans_acc += fb.xi_sum;
+  }
+
+  for (int threads : {1, 2, 4}) {
+    EStepStats stats = BatchEStep(model, data, BatchOptions{threads});
+    EXPECT_DOUBLE_EQ(stats.log_likelihood, loglik) << threads;
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(stats.pi_acc[i], pi_acc[i]) << threads;
+      for (size_t j = 0; j < k; ++j) {
+        EXPECT_DOUBLE_EQ(stats.trans_acc(i, j), trans_acc(i, j)) << threads;
+      }
+    }
+  }
+}
+
+TEST(BatchEStepTest, EngineReuseAcrossIterationsIsStable) {
+  Dataset<double> data = MakeToyData(16);
+  HmmModel<double> model = data::ToyGroundTruthModel(0.4);
+  BatchEmEngine<double> engine(BatchOptions{2});
+  EStepStats first = engine.EStep(model, data);
+  for (int rep = 0; rep < 3; ++rep) {
+    EStepStats again = engine.EStep(model, data);
+    EXPECT_DOUBLE_EQ(again.log_likelihood, first.log_likelihood);
+  }
+  EXPECT_DOUBLE_EQ(engine.LogLikelihood(model, data),
+                   DatasetLogLikelihood(model, data));
+  EXPECT_EQ(engine.Decode(model, data), DecodeDataset(model, data));
+}
+
+TEST(BatchEStepTest, ZeroThreadsResolvesToHardware) {
+  BatchEmEngine<double> engine{BatchOptions{0}};
+  EXPECT_GE(engine.num_threads(), 1);
+}
+
+// ------------------------------------------- thread-count determinism ---
+
+TEST(EmDeterminismTest, FitEmLoglikHistoryBitwiseInvariantToThreads) {
+  Dataset<double> data = MakeToyData(40);
+  prob::Rng init_rng(77);
+  HmmModel<double> init = data::ToyRandomInit(init_rng);
+
+  EmOptions options;
+  options.max_iters = 8;
+  options.num_threads = 1;
+  HmmModel<double> m1 = init;
+  EmResult r1 = FitEm(&m1, data, options);
+  ASSERT_EQ(r1.iterations, 8);
+
+  for (int threads : {2, 4}) {
+    options.num_threads = threads;
+    HmmModel<double> mn = init;
+    EmResult rn = FitEm(&mn, data, options);
+    ASSERT_EQ(rn.loglik_history.size(), r1.loglik_history.size()) << threads;
+    for (size_t i = 0; i < r1.loglik_history.size(); ++i) {
+      // Bitwise: the engine reduces per-sequence statistics in sequence
+      // order regardless of which worker produced them.
+      EXPECT_EQ(rn.loglik_history[i], r1.loglik_history[i])
+          << "threads=" << threads << " iter=" << i;
+    }
+    EXPECT_EQ(rn.final_loglik, r1.final_loglik) << threads;
+    for (size_t i = 0; i < m1.pi.size(); ++i) {
+      EXPECT_EQ(mn.pi[i], m1.pi[i]) << threads;
+      for (size_t j = 0; j < m1.pi.size(); ++j) {
+        EXPECT_EQ(mn.a(i, j), m1.a(i, j)) << threads;
+      }
+    }
+  }
+}
+
+TEST(EmDeterminismTest, FitDiversifiedLoglikHistoryBitwiseInvariant) {
+  Dataset<double> data = MakeToyData(24);
+  prob::Rng init_rng(78);
+  HmmModel<double> init = data::ToyRandomInit(init_rng);
+
+  core::DiversifiedEmOptions options;
+  options.alpha = 0.5;
+  options.max_iters = 4;
+  options.num_threads = 1;
+  HmmModel<double> m1 = init;
+  core::DiversifiedFitResult r1 = core::FitDiversifiedHmm(&m1, data, options);
+
+  for (int threads : {2, 4}) {
+    options.num_threads = threads;
+    HmmModel<double> mn = init;
+    core::DiversifiedFitResult rn =
+        core::FitDiversifiedHmm(&mn, data, options);
+    ASSERT_EQ(rn.loglik_history.size(), r1.loglik_history.size()) << threads;
+    for (size_t i = 0; i < r1.loglik_history.size(); ++i) {
+      EXPECT_EQ(rn.loglik_history[i], r1.loglik_history[i])
+          << "threads=" << threads << " iter=" << i;
+      EXPECT_EQ(rn.map_objective_history[i], r1.map_objective_history[i])
+          << "threads=" << threads << " iter=" << i;
+    }
+    EXPECT_EQ(rn.final_map_objective, r1.final_map_objective) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dhmm::hmm

@@ -484,7 +484,7 @@ TEST(SupervisedTest, RecoversGeneratingParameters) {
   }
 }
 
-// ------------------------------------------------------------ Serialization ---
+// --------------------------------------------------------- Serialization ---
 
 TEST(SerializationTest, CategoricalRoundTrip) {
   HmmModel<int> m = MakeCategoricalModel(50);
@@ -543,7 +543,7 @@ TEST(SerializationTest, RejectsWrongEmissionKind) {
   EXPECT_FALSE(LoadHmm<double>(ss).ok());
 }
 
-// ------------------------------------------------------------ DecodeDataset ---
+// --------------------------------------------------------- DecodeDataset ---
 
 TEST(DecodeDatasetTest, PathsHaveMatchingLengths) {
   HmmModel<int> m = MakeCategoricalModel(60);

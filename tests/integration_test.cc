@@ -167,7 +167,7 @@ TEST(PosIntegrationTest, DiversityPriorHelpsUnsupervisedTagging) {
   EXPECT_GT(acc_diver, 1.5 / 15.0);  // far above chance
 }
 
-// ------------------------------------------------------ OCR (Fig. 10 shape) ---
+// --------------------------------------------------- OCR (Fig. 10 shape) ---
 
 TEST(OcrIntegrationTest, SupervisedDiversifiedMatchesOrBeatsCounting) {
   data::OcrOptions oopts;
@@ -182,7 +182,8 @@ TEST(OcrIntegrationTest, SupervisedDiversifiedMatchesOrBeatsCounting) {
   auto train = eval::Subset(ds.words, fold.train);
   auto test = eval::Subset(ds.words, fold.test);
 
-  auto emission = [&]() -> std::unique_ptr<prob::EmissionModel<prob::BinaryObs>> {
+  auto emission =
+      [&]() -> std::unique_ptr<prob::EmissionModel<prob::BinaryObs>> {
     return std::make_unique<prob::BernoulliEmission>(
         linalg::Matrix(data::kNumLetters, data::kGlyphDims, 0.5));
   };

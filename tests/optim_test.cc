@@ -95,7 +95,9 @@ TEST_P(SimplexProjectionPropertyTest, PreservesOrdering) {
   linalg::Vector p = ProjectToSimplex(x);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
-      if (x[i] >= x[j]) EXPECT_GE(p[i] + 1e-12, p[j]);
+      if (x[i] >= x[j]) {
+        EXPECT_GE(p[i] + 1e-12, p[j]);
+      }
     }
   }
 }

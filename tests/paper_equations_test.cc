@@ -227,7 +227,8 @@ TEST(PaperEquationsTest, Algorithm1NeverDecreasesObjective) {
     core::TransitionUpdateOptions opts;
     opts.alpha = alpha;
     double before = core::TransitionObjective(init, counts, opts);
-    core::TransitionUpdateResult r = core::UpdateTransitions(init, counts, opts);
+    core::TransitionUpdateResult r =
+        core::UpdateTransitions(init, counts, opts);
     EXPECT_GE(r.objective, before - 1e-9) << "alpha " << alpha;
   }
 }

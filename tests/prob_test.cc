@@ -170,8 +170,37 @@ TEST(LogSumExpTest, StableForLargeMagnitudes) {
 TEST(LogSumExpTest, HandlesNegInf) {
   EXPECT_EQ(LogAdd(kNegInf, kNegInf), kNegInf);
   EXPECT_DOUBLE_EQ(LogAdd(kNegInf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(LogAdd(3.0, kNegInf), 3.0);
   linalg::Vector v{kNegInf, kNegInf};
   EXPECT_EQ(LogSumExp(v), kNegInf);
+}
+
+TEST(LogSumExpTest, EmptyInputIsLogZero) {
+  EXPECT_EQ(LogSumExp(linalg::Vector()), kNegInf);
+  EXPECT_EQ(LogSumExp(nullptr, 0), kNegInf);
+}
+
+// Contract: NaN in -> NaN out. The -inf short-circuits and the max scans
+// must not swallow a NaN operand (NaN compares false against everything,
+// so an unguarded max would treat it as "smaller than -inf").
+TEST(LogSumExpTest, NanPropagatesThroughLogAdd) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(LogAdd(nan, 1.0)));
+  EXPECT_TRUE(std::isnan(LogAdd(1.0, nan)));
+  EXPECT_TRUE(std::isnan(LogAdd(nan, kNegInf)));
+  EXPECT_TRUE(std::isnan(LogAdd(kNegInf, nan)));
+  EXPECT_TRUE(std::isnan(LogAdd(nan, nan)));
+}
+
+TEST(LogSumExpTest, NanPropagatesThroughLogSumExp) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // The all--inf-plus-NaN case is the one the seed implementation got
+  // wrong: the max scan skipped the NaN and returned -inf.
+  EXPECT_TRUE(std::isnan(LogSumExp(linalg::Vector{kNegInf, nan, kNegInf})));
+  EXPECT_TRUE(std::isnan(LogSumExp(linalg::Vector{nan})));
+  EXPECT_TRUE(std::isnan(LogSumExp(linalg::Vector{0.0, nan, 2.0})));
+  linalg::Vector v{1.0, nan};
+  EXPECT_TRUE(std::isnan(LogSumExp(v.data(), v.size())));
 }
 
 // ------------------------------------------------------ GaussianEmission ---
