@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/batch_mstep.h"
 #include "dpp/logdet.h"
 #include "hmm/sampler.h"
 #include "prob/categorical_emission.h"
@@ -115,7 +116,7 @@ data::OcrOptions OcrBenchCorpus() {
 
 OcrRun RunOcrFold(const hmm::Dataset<prob::BinaryObs>& train,
                   const hmm::Dataset<prob::BinaryObs>& test, double alpha,
-                  double tether_weight) {
+                  double tether_weight, core::TransitionUpdateWorkspace* ws) {
   OcrRun run;
   std::unique_ptr<prob::EmissionModel<prob::BinaryObs>> emission =
       std::make_unique<prob::BernoulliEmission>(
@@ -126,7 +127,8 @@ OcrRun RunOcrFold(const hmm::Dataset<prob::BinaryObs>& train,
   opts.counting.transition_pseudo_count = 0.1;
   opts.counting.initial_pseudo_count = 0.1;
   run.model = core::FitSupervisedDiversified(train, data::kNumLetters,
-                                             std::move(emission), opts);
+                                             std::move(emission), opts,
+                                             /*diagnostics=*/nullptr, ws);
 
   eval::LabelSequences gold, pred;
   for (const auto& seq : test) {
@@ -141,18 +143,18 @@ OcrRun RunOcrFold(const hmm::Dataset<prob::BinaryObs>& train,
 
 std::vector<double> CrossValidatedOcr(const data::OcrDataset& ds,
                                       size_t num_folds, double alpha,
-                                      double tether_weight, uint64_t seed) {
+                                      double tether_weight, uint64_t seed,
+                                      int num_threads) {
   prob::Rng rng(seed);
   auto folds = eval::KFoldSplit(ds.words.size(), num_folds, rng);
-  std::vector<double> accuracies;
-  accuracies.reserve(folds.size());
-  for (const auto& fold : folds) {
-    auto train = eval::Subset(ds.words, fold.train);
-    auto test = eval::Subset(ds.words, fold.test);
-    accuracies.push_back(
-        RunOcrFold(train, test, alpha, tether_weight).accuracy);
-  }
-  return accuracies;
+  core::BatchMStepDriver driver(core::BatchMStepOptions{num_threads});
+  return eval::EvaluateFolds(
+      &driver, folds.size(),
+      [&](size_t f, core::TransitionUpdateWorkspace& ws) {
+        auto train = eval::Subset(ds.words, folds[f].train);
+        auto test = eval::Subset(ds.words, folds[f].test);
+        return RunOcrFold(train, test, alpha, tether_weight, &ws).accuracy;
+      });
 }
 
 }  // namespace dhmm::bench

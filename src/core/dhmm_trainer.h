@@ -8,7 +8,10 @@
 #ifndef DHMM_CORE_DHMM_TRAINER_H_
 #define DHMM_CORE_DHMM_TRAINER_H_
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/transition_update.h"
@@ -50,6 +53,18 @@ struct DiversifiedFitResult {
   double final_map_objective = 0.0;
 };
 
+/// \brief The outer-loop convergence test: relative |gain| below tol.
+///
+/// The inner ascent is inexact, so at the fixed point the MAP objective can
+/// land a hair *below* the previous value on every remaining iteration. The
+/// earlier criterion additionally required gain >= 0, which such a negative
+/// wobble never satisfies — convergence silently never fired and every fit
+/// ran all max_iters. Exposed for direct testing.
+inline bool MapObjectiveConverged(double prev, double current, double tol) {
+  double denom = std::max(1.0, std::fabs(prev));
+  return std::fabs(current - prev) / denom < tol;
+}
+
 /// \brief Fits a diversified HMM by MAP-EM.
 ///
 /// Each outer iteration runs one exact E-step over the dataset and one M-step
@@ -58,10 +73,15 @@ struct DiversifiedFitResult {
 /// The recorded objective is the true marginal MAP objective of Eq. 7,
 /// re-evaluated with the *updated* parameters, so monotonicity is observable
 /// (§3.5.3).
+///
+/// \param m_step_ws optional persistent M-step workspace (one per worker
+///        thread when fits fan out across a core::BatchMStepDriver); nullptr
+///        uses a fit-local workspace.
 template <typename Obs>
-DiversifiedFitResult FitDiversifiedHmm(hmm::HmmModel<Obs>* model,
-                                       const hmm::Dataset<Obs>& data,
-                                       const DiversifiedEmOptions& options) {
+DiversifiedFitResult FitDiversifiedHmm(
+    hmm::HmmModel<Obs>* model, const hmm::Dataset<Obs>& data,
+    const DiversifiedEmOptions& options,
+    TransitionUpdateWorkspace* m_step_ws = nullptr) {
   DHMM_CHECK(model != nullptr);
   DHMM_CHECK(options.alpha >= 0.0);
   DHMM_CHECK(options.max_iters > 0);
@@ -72,14 +92,22 @@ DiversifiedFitResult FitDiversifiedHmm(hmm::HmmModel<Obs>* model,
   update_opts.ascent = options.ascent;
   update_opts.row_floor = options.row_floor;
 
+  // One workspace and result slot for the whole outer loop (mirroring the
+  // persistent E-step engine below): after the first outer iteration every
+  // transition update runs allocation-free.
+  TransitionUpdateWorkspace local_ws;
+  TransitionUpdateWorkspace* ws = m_step_ws != nullptr ? m_step_ws : &local_ws;
+  TransitionUpdateResult m_result;
+
   hmm::EmOptions em;
   em.max_iters = 1;
   em.update_pi = options.update_pi;
   em.update_emission = options.update_emission;
   em.num_threads = options.num_threads;
   em.transition_m_step = [&](const linalg::Matrix& counts,
-                             const linalg::Matrix& a_old) {
-    return UpdateTransitions(a_old, counts, update_opts).a;
+                             linalg::Matrix* a) {
+    UpdateTransitions(*a, counts, update_opts, ws, &m_result);
+    std::swap(*a, m_result.a);
   };
 
   // One engine for the whole outer loop: its worker pool and per-thread
@@ -91,22 +119,22 @@ DiversifiedFitResult FitDiversifiedHmm(hmm::HmmModel<Obs>* model,
   double prev = -std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iters; ++iter) {
     hmm::EmResult one = hmm::FitEm(model, data, em, &engine);
-    double log_det = dpp::LogDetNormalizedKernel(model->a, options.rho);
+    double log_det =
+        dpp::LogDetNormalizedKernel(model->a, options.rho, &ws->kernel);
     double map_obj = one.final_loglik + options.alpha * log_det;
     result.loglik_history.push_back(one.final_loglik);
     result.map_objective_history.push_back(map_obj);
     ++result.iterations;
 
-    double denom = std::max(1.0, std::fabs(prev));
-    if (iter > 0 && map_obj - prev >= 0.0 &&
-        (map_obj - prev) / denom < options.tol) {
+    if (iter > 0 && MapObjectiveConverged(prev, map_obj, options.tol)) {
       result.converged = true;
       prev = map_obj;
       break;
     }
     prev = map_obj;
   }
-  result.final_log_det = dpp::LogDetNormalizedKernel(model->a, options.rho);
+  result.final_log_det =
+      dpp::LogDetNormalizedKernel(model->a, options.rho, &ws->kernel);
   result.final_map_objective = prev;
   return result;
 }

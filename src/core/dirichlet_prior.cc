@@ -35,8 +35,8 @@ linalg::Matrix DirichletMapTransitions(const linalg::Matrix& expected_counts,
 }
 
 hmm::TransitionMStep MakeDirichletMStep(double beta) {
-  return [beta](const linalg::Matrix& counts, const linalg::Matrix&) {
-    return DirichletMapTransitions(counts, beta);
+  return [beta](const linalg::Matrix& counts, linalg::Matrix* a) {
+    *a = DirichletMapTransitions(counts, beta);
   };
 }
 

@@ -44,12 +44,17 @@ struct SupervisedDiversifiedDiagnostics {
 /// \brief Counts lambda_0 from labeled data, then refines A per Eq. 8.
 ///
 /// \param diagnostics optional out-param with before/after diversity numbers.
+/// \param ws optional persistent M-step workspace (one per worker thread
+///        when folds fan out across a core::BatchMStepDriver).
 template <typename Obs>
 hmm::HmmModel<Obs> FitSupervisedDiversified(
     const hmm::Dataset<Obs>& data, size_t k,
     std::unique_ptr<prob::EmissionModel<Obs>> emission,
     const SupervisedDiversifiedOptions& options,
-    SupervisedDiversifiedDiagnostics* diagnostics = nullptr) {
+    SupervisedDiversifiedDiagnostics* diagnostics = nullptr,
+    TransitionUpdateWorkspace* ws = nullptr) {
+  TransitionUpdateWorkspace local_ws;
+  if (ws == nullptr) ws = &local_ws;
   hmm::HmmModel<Obs> model =
       hmm::FitSupervised(data, k, std::move(emission), options.counting);
 
@@ -71,7 +76,8 @@ hmm::HmmModel<Obs> FitSupervisedDiversified(
     update.tether_weight = options.tether_weight;
     update.ascent = options.ascent;
     update.row_floor = options.row_floor;
-    TransitionUpdateResult r = UpdateTransitions(a0, counts, update);
+    TransitionUpdateResult r;
+    UpdateTransitions(a0, counts, update, ws, &r);
     if (diagnostics != nullptr) {
       diagnostics->ascent_iterations = r.iterations;
       diagnostics->log_det_a = r.log_det;
@@ -79,12 +85,13 @@ hmm::HmmModel<Obs> FitSupervisedDiversified(
     model.a = std::move(r.a);
   } else if (diagnostics != nullptr) {
     diagnostics->log_det_a =
-        dpp::LogDetNormalizedKernel(model.a, options.rho);
+        dpp::LogDetNormalizedKernel(model.a, options.rho, &ws->kernel);
   }
 
   if (diagnostics != nullptr) {
     diagnostics->a0 = a0;
-    diagnostics->log_det_a0 = dpp::LogDetNormalizedKernel(a0, options.rho);
+    diagnostics->log_det_a0 =
+        dpp::LogDetNormalizedKernel(a0, options.rho, &ws->kernel);
     diagnostics->drift = std::sqrt(model.a.squared_distance(a0));
   }
   return model;

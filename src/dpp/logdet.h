@@ -2,6 +2,7 @@
 #ifndef DHMM_DPP_LOGDET_H_
 #define DHMM_DPP_LOGDET_H_
 
+#include "dpp/kernel_workspace.h"
 #include "dpp/product_kernel.h"
 #include "linalg/matrix.h"
 
@@ -29,6 +30,42 @@ double LogDetNormalizedKernel(const linalg::Matrix& rows,
 /// kernel is singular so callers can backtrack.
 bool GradLogDetNormalizedKernel(const linalg::Matrix& rows, double rho,
                                 linalg::Matrix* grad);
+
+/// \brief Workspace overload of LogDetNormalizedKernel for line-search
+/// probes: one kernel build plus one factorization, all into ws buffers, no
+/// heap allocation at steady state.
+///
+/// Factorizes the *unnormalized* kernel K and uses
+///   log det K~ = log det K - sum_i log K_ii,
+/// which agrees with the allocating overload to roundoff (the two paths
+/// differ in the last bits, not in value). Returns -infinity when the kernel
+/// is numerically singular.
+double LogDetNormalizedKernel(const linalg::Matrix& rows, double rho,
+                              KernelWorkspace* ws);
+
+/// \brief Fused objective + gradient (the Algorithm-1 hot path): computes
+/// log det K~_A *and* its gradient from a single kernel build and LU
+/// factorization, where the separate entry points above each rebuild and
+/// refactorize the same kernel.
+///
+/// The log-det lands in *log_det (identical bits to the workspace overload
+/// of LogDetNormalizedKernel); the gradient of GradLogDetNormalizedKernel is
+/// reproduced with K^{-1}P obtained by direct LU solves instead of an
+/// explicit inverse (equal to the separate path to roundoff). Returns false
+/// with *log_det = -infinity when the kernel is singular; `grad` contents
+/// are then unspecified.
+bool LogDetAndGrad(const linalg::Matrix& rows, double rho,
+                   KernelWorkspace* ws, double* log_det,
+                   linalg::Matrix* grad);
+
+/// \brief Gradient-only entry point for a workspace whose `powed`, `kernel`,
+/// and `chol` members are already valid for `rows` (e.g. snapshotted from
+/// the line-search probe that evaluated this point moments earlier): skips
+/// the kernel rebuild and refactorization and goes straight to the solve.
+/// Precondition: ws->chol.ok().
+void GradLogDetFromFactoredWorkspace(const linalg::Matrix& rows, double rho,
+                                     KernelWorkspace* ws,
+                                     linalg::Matrix* grad);
 
 /// \brief The paper's literal Eq. 15 prior-gradient formula (rho = 0.5):
 ///   d/dA_ij = (1/2) sum_m [K~^{-1}]_mi sqrt(A_mj) / sqrt(A_ij).

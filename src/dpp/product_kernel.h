@@ -3,6 +3,7 @@
 #ifndef DHMM_DPP_PRODUCT_KERNEL_H_
 #define DHMM_DPP_PRODUCT_KERNEL_H_
 
+#include "dpp/kernel_workspace.h"
 #include "linalg/matrix.h"
 
 namespace dhmm::dpp {
@@ -33,6 +34,17 @@ linalg::Matrix NormalizedKernel(const linalg::Matrix& rows,
 
 /// Normalizes an already-computed unnormalized kernel in place.
 void NormalizeKernel(linalg::Matrix* kernel);
+
+/// \brief Workspace overload: builds ws->powed (floored rows^rho) and the
+/// unnormalized kernel ws->kernel = P P^T without allocating once the
+/// workspace buffers have grown to the row shape.
+void ProductKernel(const linalg::Matrix& rows, double rho,
+                   KernelWorkspace* ws);
+
+/// \brief Workspace overload of NormalizedKernel: ProductKernel into the
+/// workspace, then NormalizeKernel on ws->kernel in place.
+void NormalizedKernel(const linalg::Matrix& rows, double rho,
+                      KernelWorkspace* ws);
 
 }  // namespace dhmm::dpp
 

@@ -21,4 +21,15 @@ std::vector<Fold> KFoldSplit(size_t n, size_t k, prob::Rng& rng) {
   return folds;
 }
 
+std::vector<double> EvaluateFolds(core::BatchMStepDriver* driver,
+                                  size_t num_folds, const FoldFn& fold_fn) {
+  DHMM_CHECK(driver != nullptr && fold_fn != nullptr);
+  std::vector<double> scores(num_folds);
+  driver->Run(num_folds,
+              [&](core::TransitionUpdateWorkspace& ws, size_t fold) {
+                scores[fold] = fold_fn(fold, ws);
+              });
+  return scores;
+}
+
 }  // namespace dhmm::eval

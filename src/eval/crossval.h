@@ -1,9 +1,12 @@
-// K-fold cross-validation splitting (the OCR experiments use 10-fold CV).
+// K-fold cross-validation splitting (the OCR experiments use 10-fold CV)
+// and a deterministic parallel fold evaluator.
 #ifndef DHMM_EVAL_CROSSVAL_H_
 #define DHMM_EVAL_CROSSVAL_H_
 
+#include <functional>
 #include <vector>
 
+#include "core/batch_mstep.h"
 #include "prob/rng.h"
 
 namespace dhmm::eval {
@@ -27,6 +30,21 @@ std::vector<T> Subset(const std::vector<T>& data,
   for (size_t i : indices) out.push_back(data[i]);
   return out;
 }
+
+/// Trains and scores one fold; `ws` is the claiming worker's persistent
+/// M-step workspace (pass it to FitSupervisedDiversified /
+/// FitDiversifiedHmm). Must depend only on `fold` and must not mutate
+/// shared state.
+using FoldFn =
+    std::function<double(size_t fold, core::TransitionUpdateWorkspace& ws)>;
+
+/// \brief Evaluates `num_folds` independent folds across a
+/// core::BatchMStepDriver and returns the per-fold scores in fold order.
+///
+/// Each fold's score lands in its own slot, so the returned vector is
+/// bitwise identical for every driver thread count.
+std::vector<double> EvaluateFolds(core::BatchMStepDriver* driver,
+                                  size_t num_folds, const FoldFn& fold_fn);
 
 }  // namespace dhmm::eval
 

@@ -10,6 +10,8 @@
 #ifndef DHMM_HMM_SERIALIZATION_H_
 #define DHMM_HMM_SERIALIZATION_H_
 
+#include <cmath>
+#include <cstddef>
 #include <fstream>
 #include <istream>
 #include <memory>
@@ -100,7 +102,22 @@ Status SaveHmm(const HmmModel<Obs>& model, std::ostream& os) {
   return Status::OK();
 }
 
+/// Largest state count LoadHmm will accept. Real models in this system are
+/// tens of states; the bound exists so a corrupt header cannot request an
+/// absurd k and drive an unbounded allocation before any payload is read.
+inline constexpr size_t kMaxSerializedStates = 4096;
+
+/// Row-normalization slack accepted on load; matches HmmModel::Validate so
+/// everything SaveHmm writes round-trips.
+inline constexpr double kSerializationStochasticTol = 1e-6;
+
 /// \brief Reads a model written by SaveHmm.
+///
+/// Malformed streams fail with a Status instead of deferring the damage:
+/// an absurd state count is an IOError before anything is allocated, and
+/// non-stochastic pi / transition rows are an InvalidArgument here rather
+/// than a mid-training abort later (HmmModel's constructor CHECK-fails on
+/// them).
 template <typename Obs>
 Result<HmmModel<Obs>> LoadHmm(std::istream& is) {
   std::string magic;
@@ -110,14 +127,35 @@ Result<HmmModel<Obs>> LoadHmm(std::istream& is) {
   }
   size_t k = 0;
   if (!(is >> k) || k == 0) return Status::IOError("bad state count");
+  if (k > kMaxSerializedStates) {
+    return Status::IOError("unreasonable state count: " + std::to_string(k));
+  }
   linalg::Vector pi(k);
+  double pi_sum = 0.0;
   for (size_t i = 0; i < k; ++i) {
     if (!(is >> pi[i])) return Status::IOError("bad pi");
+    if (!(pi[i] >= -1e-12)) {  // negated >= also rejects NaN
+      return Status::InvalidArgument("pi has a negative entry");
+    }
+    pi_sum += pi[i];
+  }
+  if (!(std::fabs(pi_sum - 1.0) < kSerializationStochasticTol)) {
+    return Status::InvalidArgument("pi does not sum to 1");
   }
   linalg::Matrix a(k, k);
   for (size_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
     for (size_t j = 0; j < k; ++j) {
       if (!(is >> a(i, j))) return Status::IOError("bad transition matrix");
+      if (!(a(i, j) >= -1e-12)) {
+        return Status::InvalidArgument("transition matrix has a negative "
+                                       "entry in row " + std::to_string(i));
+      }
+      row_sum += a(i, j);
+    }
+    if (!(std::fabs(row_sum - 1.0) < kSerializationStochasticTol)) {
+      return Status::InvalidArgument("transition row " + std::to_string(i) +
+                                     " does not sum to 1");
     }
   }
   std::string type;

@@ -12,8 +12,10 @@
 #ifndef DHMM_HMM_TRAINER_H_
 #define DHMM_HMM_TRAINER_H_
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -25,11 +27,13 @@
 
 namespace dhmm::hmm {
 
-/// Maps (expected transition counts, previous A) to the updated A.
-/// The default (nullptr) is the maximum-likelihood update: normalize rows of
-/// the expected counts.
-using TransitionMStep = std::function<linalg::Matrix(
-    const linalg::Matrix& expected_counts, const linalg::Matrix& a_old)>;
+/// In-place transition M-step: `a` holds the previous A on entry and must
+/// hold the updated A on exit. The in-place form lets penalized updates
+/// (src/core) write through persistent workspaces without a per-iteration
+/// return-value matrix. The default (nullptr) is the maximum-likelihood
+/// update: normalize rows of the expected counts.
+using TransitionMStep = std::function<void(
+    const linalg::Matrix& expected_counts, linalg::Matrix* a)>;
 
 /// Options controlling the EM loop.
 struct EmOptions {
@@ -82,7 +86,7 @@ EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
     }
     if (options.update_transitions) {
       if (options.transition_m_step) {
-        model->a = options.transition_m_step(stats.trans_acc, model->a);
+        options.transition_m_step(stats.trans_acc, &model->a);
       } else {
         linalg::Matrix a = std::move(stats.trans_acc);
         a.NormalizeRows();

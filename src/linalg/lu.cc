@@ -3,11 +3,16 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
+
 namespace dhmm::linalg {
 
-LuDecomposition::LuDecomposition(const Matrix& a)
-    : lu_(a), piv_(a.rows()), pivot_sign_(1), singular_(false) {
+void LuDecomposition::FactorizeInto(const Matrix& a) {
   DHMM_CHECK_MSG(a.rows() == a.cols(), "LU requires a square matrix");
+  lu_ = a;  // copy-assign reuses the packed-factor storage when it fits
+  piv_.resize(a.rows());
+  pivot_sign_ = 1;
+  singular_ = false;
   const size_t n = lu_.rows();
   for (size_t i = 0; i < n; ++i) piv_[i] = i;
 
@@ -87,16 +92,93 @@ Vector LuDecomposition::Solve(const Vector& b) const {
 }
 
 Matrix LuDecomposition::Solve(const Matrix& b) const {
-  DHMM_CHECK(b.rows() == size());
-  Matrix out(b.rows(), b.cols());
-  for (size_t c = 0; c < b.cols(); ++c) {
-    out.SetCol(c, Solve(b.Col(c)));
-  }
+  Matrix out;
+  SolveInto(b, &out);
   return out;
 }
 
 Matrix LuDecomposition::Inverse() const {
-  return Solve(Matrix::Identity(size()));
+  Matrix out;
+  InverseInto(&out);
+  return out;
+}
+
+void LuDecomposition::SolveInto(const Vector& b, Vector* x) const {
+  DHMM_CHECK_MSG(!singular_, "cannot solve with a singular matrix");
+  DHMM_CHECK(x != nullptr && x != &b);
+  DHMM_CHECK(b.size() == size());
+  const size_t n = size();
+  x->Resize(n);
+  for (size_t i = 0; i < n; ++i) (*x)[i] = b[piv_[i]];
+  for (size_t i = 1; i < n; ++i) {
+    double s = (*x)[i];
+    for (size_t j = 0; j < i; ++j) s -= lu_(i, j) * (*x)[j];
+    (*x)[i] = s;
+  }
+  for (size_t ii = n; ii-- > 0;) {
+    double s = (*x)[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * (*x)[j];
+    (*x)[ii] = s / lu_(ii, ii);
+  }
+}
+
+void LuDecomposition::SolveInto(const Matrix& b, Matrix* x) const {
+  DHMM_CHECK_MSG(!singular_, "cannot solve with a singular matrix");
+  DHMM_CHECK(x != nullptr && x != &b);
+  DHMM_CHECK(b.rows() == size());
+  const size_t n = size();
+  const size_t m = b.cols();
+  x->Resize(n, m);
+  // All right-hand sides advance together with the innermost loop running
+  // along contiguous rows (vectorizable, no strided column walks). Per
+  // element the update order over j is unchanged, so results are bitwise
+  // identical to solving each column separately.
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = b.row_data(piv_[i]);
+    double* dst = x->row_data(i);
+    for (size_t c = 0; c < m; ++c) dst[c] = src[c];
+  }
+  for (size_t i = 1; i < n; ++i) {
+    double* xi = x->row_data(i);
+    for (size_t j = 0; j < i; ++j) {
+      const double f = lu_(i, j);
+      const double* xj = x->row_data(j);
+      for (size_t c = 0; c < m; ++c) xi[c] -= f * xj[c];
+    }
+  }
+  for (size_t ii = n; ii-- > 0;) {
+    double* xi = x->row_data(ii);
+    for (size_t j = ii + 1; j < n; ++j) {
+      const double f = lu_(ii, j);
+      const double* xj = x->row_data(j);
+      for (size_t c = 0; c < m; ++c) xi[c] -= f * xj[c];
+    }
+    const double d = lu_(ii, ii);
+    for (size_t c = 0; c < m; ++c) xi[c] /= d;
+  }
+}
+
+void LuDecomposition::InverseInto(Matrix* out) const {
+  DHMM_CHECK_MSG(!singular_, "cannot invert a singular matrix");
+  DHMM_CHECK(out != nullptr);
+  const size_t n = size();
+  out->Resize(n, n);
+  // Solve A X = I; the permuted identity columns are written directly.
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      (*out)(i, c) = piv_[i] == c ? 1.0 : 0.0;
+    }
+    for (size_t i = 1; i < n; ++i) {
+      double s = (*out)(i, c);
+      for (size_t j = 0; j < i; ++j) s -= lu_(i, j) * (*out)(j, c);
+      (*out)(i, c) = s;
+    }
+    for (size_t ii = n; ii-- > 0;) {
+      double s = (*out)(ii, c);
+      for (size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * (*out)(j, c);
+      (*out)(ii, c) = s / lu_(ii, ii);
+    }
+  }
 }
 
 double Determinant(const Matrix& a) {

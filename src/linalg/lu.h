@@ -11,12 +11,26 @@ namespace dhmm::linalg {
 ///
 /// The diversity prior needs log|det K| and K^{-1} of small (k x k, k <= ~50)
 /// kernel matrices every gradient step; this class provides both with
-/// numerically stable pivoting.
+/// numerically stable pivoting. Hot paths that factorize every line-search
+/// probe reuse one default-constructed instance via FactorizeInto and the
+/// *Into solve overloads, which write into caller-owned storage and perform
+/// no heap allocation once the grow-only factor buffers have reached their
+/// high-water size.
 class LuDecomposition {
  public:
+  /// Empty decomposition; call FactorizeInto before any query.
+  LuDecomposition() = default;
+
   /// Factorizes a square matrix. Singular inputs are accepted — det() will be
   /// zero / log_abs_det() will be -inf and IsSingular() true.
-  explicit LuDecomposition(const Matrix& a);
+  explicit LuDecomposition(const Matrix& a) { FactorizeInto(a); }
+
+  /// \brief Refactorizes this decomposition in place for a new matrix.
+  ///
+  /// The packed-factor matrix and pivot vector are Resize()d rather than
+  /// reallocated, so repeated factorizations at a fixed (or shrinking) size
+  /// are allocation-free.
+  void FactorizeInto(const Matrix& a);
 
   /// True if a zero (or subnormal) pivot was encountered.
   bool IsSingular() const { return singular_; }
@@ -39,13 +53,24 @@ class LuDecomposition {
   /// A^{-1}. Precondition: !IsSingular().
   Matrix Inverse() const;
 
+  /// Solves A x = b into caller-owned x (Resize()d; b and x must be
+  /// distinct). Precondition: !IsSingular().
+  void SolveInto(const Vector& b, Vector* x) const;
+
+  /// Solves A X = B into caller-owned x (Resize()d; b and x must be
+  /// distinct). Precondition: !IsSingular().
+  void SolveInto(const Matrix& b, Matrix* x) const;
+
+  /// Writes A^{-1} into caller-owned out. Precondition: !IsSingular().
+  void InverseInto(Matrix* out) const;
+
   size_t size() const { return lu_.rows(); }
 
  private:
   Matrix lu_;               // packed L (unit diag, below) and U (on/above diag)
   std::vector<size_t> piv_; // row permutation
-  int pivot_sign_;
-  bool singular_;
+  int pivot_sign_ = 1;
+  bool singular_ = false;
 };
 
 /// Convenience: determinant of a square matrix.

@@ -75,6 +75,14 @@ Matrix& Matrix::operator-=(const Matrix& other) {
   return *this;
 }
 
+Matrix& Matrix::AddScaled(const Matrix& other, double scale) {
+  DHMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i] * scale;
+  }
+  return *this;
+}
+
 Matrix& Matrix::operator*=(double s) {
   for (double& v : data_) v *= s;
   return *this;

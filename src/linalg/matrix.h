@@ -85,6 +85,9 @@ class Matrix {
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double s);
+  /// In-place `*this += other * scale` without a temporary — the hot-loop
+  /// form of a gradient step (trial = iterate + grad * step).
+  Matrix& AddScaled(const Matrix& other, double scale);
   friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
   friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
   friend Matrix operator*(Matrix a, double s) { return a *= s; }

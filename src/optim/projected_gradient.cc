@@ -1,6 +1,9 @@
 #include "optim/projected_gradient.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -87,6 +90,88 @@ ProjectedGradientResult ProjectedGradientAscent(
     }
   }
   return result;
+}
+
+void ProjectedGradientAscent(const linalg::Matrix& init,
+                             const MatrixObjective& objective,
+                             const MatrixValueGradient& value_and_grad,
+                             const MatrixProjection& project,
+                             const ProjectedGradientOptions& options,
+                             ProjectedGradientWorkspace* ws,
+                             ProjectedGradientResult* result) {
+  DHMM_CHECK(options.max_iters > 0);
+  DHMM_CHECK(options.initial_step > 0.0);
+  DHMM_CHECK(options.backtrack_factor > 0.0 && options.backtrack_factor < 1.0);
+  DHMM_CHECK(ws != nullptr && result != nullptr);
+
+  // Same ascent/line-search structure as the callback overload above; kept
+  // in sync by tests (the two must find the same local maxima). Differences:
+  // the fused oracle supplies objective and gradient together, and every
+  // matrix is a reused workspace/result buffer swapped through the loop.
+  result->argmax = init;
+  result->iterations = 0;
+  result->converged = false;
+  double value = -std::numeric_limits<double>::infinity();
+  bool has_grad = value_and_grad(result->argmax, &value, &ws->grad);
+  DHMM_CHECK_MSG(std::isfinite(value),
+                 "projected gradient needs a feasible finite starting point");
+  result->objective = value;
+
+  double step = options.initial_step;
+  int small_gain_streak = 0;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    if (!has_grad) break;
+
+    bool accepted = false;
+    double cand_obj = 0.0;
+    double search_start = step;
+    double accepted_step = step;
+    int extra_probes = 3;
+    for (int bt = 0; bt < options.max_backtracks && step >= options.min_step;
+         ++bt) {
+      ws->trial = result->argmax;
+      ws->trial.AddScaled(ws->grad, step);
+      project(&ws->trial);
+      double trial_obj = objective(ws->trial);
+      if (std::isfinite(trial_obj) && trial_obj > result->objective &&
+          (!accepted || trial_obj > cand_obj)) {
+        accepted = true;
+        std::swap(ws->candidate, ws->trial);
+        cand_obj = trial_obj;
+        accepted_step = step;
+      }
+      if (accepted && --extra_probes < 0) break;
+      step *= options.backtrack_factor;
+    }
+    if (!accepted) {
+      if (search_start > options.initial_step) {
+        step = options.initial_step;
+        continue;
+      }
+      result->converged = true;  // no improving step exists: local maximum
+      break;
+    }
+    step = accepted_step;
+
+    double gain = cand_obj - result->objective;
+    std::swap(result->argmax, ws->candidate);
+    result->objective = cand_obj;
+    ++result->iterations;
+    step = std::min(step * options.grow_factor, options.initial_step * 1e8);
+
+    if (gain < options.tol) {
+      step = std::max(step, options.initial_step);
+      if (++small_gain_streak >= 3) {
+        result->converged = true;
+        break;
+      }
+    } else {
+      small_gain_streak = 0;
+    }
+    // Fused re-evaluation at the new iterate; the value matches cand_obj (it
+    // is recomputed by the same code path), so only the gradient is kept.
+    has_grad = value_and_grad(result->argmax, &value, &ws->grad);
+  }
 }
 
 }  // namespace dhmm::optim

@@ -22,6 +22,15 @@ using MatrixGradient =
 /// In-place feasibility projection.
 using MatrixProjection = std::function<void(linalg::Matrix*)>;
 
+/// Fused objective-and-gradient oracle: writes F(a) to *value and the
+/// gradient to *grad (Resize()d in place). Returns false when the gradient
+/// is undefined at `a` (e.g. a singular DPP kernel); *value is then -inf.
+/// The point of fusing: the dHMM objective and its gradient share one kernel
+/// build and one LU factorization (dpp::LogDetAndGrad), where separate
+/// callbacks each redo both.
+using MatrixValueGradient =
+    std::function<bool(const linalg::Matrix&, double*, linalg::Matrix*)>;
+
 /// Options for ProjectedGradientAscent.
 struct ProjectedGradientOptions {
   int max_iters = 200;           ///< outer ascent iterations
@@ -45,6 +54,16 @@ struct ProjectedGradientResult {
   bool converged = false;  ///< true when the tol criterion triggered
 };
 
+/// Reusable scratch for the workspace overload below. All buffers are
+/// grow-only: after the first run at a given shape, every backtracking probe
+/// reuses `trial`, `grad`, and `candidate` instead of allocating fresh
+/// matrices per probe.
+struct ProjectedGradientWorkspace {
+  linalg::Matrix grad;       ///< gradient at the current iterate
+  linalg::Matrix trial;      ///< projected trial point of the line search
+  linalg::Matrix candidate;  ///< best improving trial found this iteration
+};
+
 /// \brief Maximizes `objective` over matrices with feasible set given by
 /// `project`, starting from `init` (which must be feasible).
 ///
@@ -55,6 +74,24 @@ ProjectedGradientResult ProjectedGradientAscent(
     const linalg::Matrix& init, const MatrixObjective& objective,
     const MatrixGradient& gradient, const MatrixProjection& project,
     const ProjectedGradientOptions& options = {});
+
+/// \brief Value-and-gradient variant for hot loops (the dHMM M-step).
+///
+/// Same ascent loop as above with two changes: the objective and gradient at
+/// each accepted iterate come from one fused `value_and_grad` call (one
+/// kernel factorization instead of two), and all intermediate matrices live
+/// in `ws` / `result`, which only grow — after the first call at a given
+/// shape the whole ascent performs zero heap allocations. `objective` is
+/// still used for the (value-only) line-search probes. `result` fields are
+/// fully overwritten; passing the same workspace and result across calls is
+/// the intended steady-state usage.
+void ProjectedGradientAscent(const linalg::Matrix& init,
+                             const MatrixObjective& objective,
+                             const MatrixValueGradient& value_and_grad,
+                             const MatrixProjection& project,
+                             const ProjectedGradientOptions& options,
+                             ProjectedGradientWorkspace* ws,
+                             ProjectedGradientResult* result);
 
 }  // namespace dhmm::optim
 

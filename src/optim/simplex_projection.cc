@@ -32,9 +32,49 @@ linalg::Vector ProjectToSimplex(const linalg::Vector& v) {
 }
 
 void ProjectRowsToSimplex(linalg::Matrix* m) {
-  DHMM_CHECK(m != nullptr);
+  linalg::Vector scratch;
+  ProjectRowsToSimplex(m, &scratch);
+}
+
+namespace {
+
+// Descending insertion sort: identical output to std::sort with
+// std::greater, but without the introsort bookkeeping that dominates at the
+// tiny row widths (k <= ~50) this hot path sees.
+void SortDescending(double* u, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    double v = u[i];
+    size_t j = i;
+    for (; j > 0 && u[j - 1] < v; --j) u[j] = u[j - 1];
+    u[j] = v;
+  }
+}
+
+}  // namespace
+
+void ProjectRowsToSimplex(linalg::Matrix* m, linalg::Vector* scratch) {
+  DHMM_CHECK(m != nullptr && scratch != nullptr);
+  const size_t n = m->cols();
+  DHMM_CHECK(n > 0);
+  scratch->Resize(n);
   for (size_t r = 0; r < m->rows(); ++r) {
-    m->SetRow(r, ProjectToSimplex(m->Row(r)));
+    double* row = m->row_data(r);
+    double* u = scratch->data();
+    for (size_t i = 0; i < n; ++i) u[i] = row[i];
+    SortDescending(u, n);
+    double cumsum = 0.0;
+    double tau = 0.0;
+    size_t rho = 0;
+    for (size_t i = 0; i < n; ++i) {
+      cumsum += u[i];
+      double t = (cumsum - 1.0) / static_cast<double>(i + 1);
+      if (u[i] - t > 0.0) {
+        rho = i + 1;
+        tau = t;
+      }
+    }
+    DHMM_CHECK(rho > 0);
+    for (size_t i = 0; i < n; ++i) row[i] = std::max(row[i] - tau, 0.0);
   }
 }
 

@@ -17,6 +17,12 @@ linalg::Vector ProjectToSimplex(const linalg::Vector& v);
 /// Projects every row of m onto the simplex in place.
 void ProjectRowsToSimplex(linalg::Matrix* m);
 
+/// \brief Allocation-free overload for hot loops: `scratch` holds the sorted
+/// row copy and is grow-only, so repeated projections at a fixed width stop
+/// allocating after the first call. Results are bitwise identical to the
+/// plain overload.
+void ProjectRowsToSimplex(linalg::Matrix* m, linalg::Vector* scratch);
+
 }  // namespace dhmm::optim
 
 #endif  // DHMM_OPTIM_SIMPLEX_PROJECTION_H_

@@ -127,6 +127,31 @@ TEST(TransitionUpdateTest, ObjectiveFunctionValues) {
   EXPECT_TRUE(std::isinf(TransitionObjective(zero_a, counts, opts)));
 }
 
+TEST(TransitionUpdateTest, ProjectFeasibleKeepsFlooredEntriesAboveFloor) {
+  // One dominant entry: flooring the two zeros and then renormalizing the
+  // whole row (the old behaviour) divides by 1.4 and drops the just-floored
+  // entries to ~0.143 < 0.2. Only the un-floored mass may be rescaled.
+  linalg::Matrix a{{1.0, 0.0, 0.0}};
+  const double floor = 0.2;
+  ProjectFeasible(&a, floor);
+  EXPECT_NEAR(a(0, 0), 0.6, 1e-12);
+  EXPECT_GE(a(0, 1), floor);
+  EXPECT_GE(a(0, 2), floor);
+  double sum = a(0, 0) + a(0, 1) + a(0, 2);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(TransitionUpdateTest, ProjectFeasibleIteratesCascadingFloors) {
+  // Rescaling after the first floor pushes the middle entry below the floor
+  // too; the fixed-point iteration must catch the cascade.
+  linalg::Matrix a{{0.36, 0.33, 0.31}};
+  const double floor = 0.325;
+  ProjectFeasible(&a, floor);
+  for (size_t c = 0; c < 3; ++c) EXPECT_GE(a(0, c), floor) << "col " << c;
+  EXPECT_NEAR(a(0, 0) + a(0, 1) + a(0, 2), 1.0, 1e-12);
+  EXPECT_NEAR(a(0, 0), 0.35, 1e-12);
+}
+
 TEST(TransitionUpdateTest, LargeAlphaYieldsNearOrthogonalRows) {
   linalg::Matrix counts(3, 3, 1.0);
   prob::Rng rng(6);
@@ -226,6 +251,42 @@ TEST(DiversifiedTrainerTest, DiversityExceedsBaumWelchOnAmbiguousData) {
 
   EXPECT_GT(eval::AveragePairwiseDiversity(diver.a),
             eval::AveragePairwiseDiversity(base.a));
+}
+
+TEST(DiversifiedTrainerTest, ConvergenceCriterionAcceptsNegativeWobble) {
+  // Regression for the convergence lockout: the inner ascent is inexact, so
+  // at the plateau the MAP objective can land a hair *below* the previous
+  // value (observed: alternating gains of +-1e-13 around -775). The old
+  // criterion required gain >= 0 and never fired on the negative side.
+  EXPECT_TRUE(MapObjectiveConverged(-775.0, -775.0 - 1e-12, 1e-6));
+  EXPECT_TRUE(MapObjectiveConverged(-775.0, -775.0 + 1e-12, 1e-6));
+  // Real movement in either direction is still not convergence.
+  EXPECT_FALSE(MapObjectiveConverged(-775.0, -774.0, 1e-6));
+  EXPECT_FALSE(MapObjectiveConverged(-775.0, -776.0, 1e-6));
+  // Relative scaling: a 1e-4 step is convergence only against a large
+  // objective magnitude.
+  EXPECT_TRUE(MapObjectiveConverged(-1e4, -1e4 - 1e-4, 1e-6));
+  EXPECT_FALSE(MapObjectiveConverged(-1.0, -1.0 - 1e-4, 1e-6));
+}
+
+TEST(DiversifiedTrainerTest, RefitFromConvergedModelStopsImmediately) {
+  // End-to-end: a model already at its MAP fixed point must converge in the
+  // first couple of outer iterations instead of burning the whole budget.
+  hmm::HmmModel<int> truth = RandomModel(50, 3, 8);
+  prob::Rng rng(51);
+  hmm::Dataset<int> data = hmm::SampleDataset(truth, 40, 10, rng);
+  hmm::HmmModel<int> model = RandomModel(52, 3, 8);
+  DiversifiedEmOptions opts;
+  opts.alpha = 1.0;
+  opts.max_iters = 250;
+  opts.tol = 0.0;
+  FitDiversifiedHmm(&model, data, opts);
+
+  opts.max_iters = 20;
+  opts.tol = 1e-6;
+  DiversifiedFitResult r = FitDiversifiedHmm(&model, data, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 3);
 }
 
 TEST(DiversifiedTrainerTest, ReportsFinalDiagnostics) {

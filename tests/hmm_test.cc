@@ -377,11 +377,10 @@ TEST(EmTest, CustomTransitionMStepIsUsed) {
   opts.max_iters = 4;
   opts.tol = 0.0;
   opts.transition_m_step = [&](const linalg::Matrix& counts,
-                               const linalg::Matrix&) {
+                               linalg::Matrix* a) {
     ++calls;
-    linalg::Matrix a = counts;
-    a.NormalizeRows();
-    return a;
+    *a = counts;
+    a->NormalizeRows();
   };
   FitEm(&model, data, opts);
   EXPECT_EQ(calls, 4);

@@ -216,6 +216,50 @@ TEST(LuTest, MatrixSolveMultipleRhs) {
   EXPECT_NEAR(check(1, 1), 1.0, 1e-12);
 }
 
+TEST(LuTest, FactorizeIntoReusesDecomposition) {
+  prob::Rng rng(7);
+  LuDecomposition reused;
+  for (int trial = 0; trial < 6; ++trial) {
+    size_t n = 2 + trial % 4;  // shrink and regrow the factor buffers
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = rng.Gaussian();
+      a(i, i) += static_cast<double>(n);
+    }
+    reused.FactorizeInto(a);
+    LuDecomposition fresh(a);
+    EXPECT_EQ(reused.Determinant(), fresh.Determinant()) << "trial " << trial;
+    EXPECT_EQ(reused.LogAbsDeterminant(), fresh.LogAbsDeterminant());
+    EXPECT_EQ(reused.IsSingular(), fresh.IsSingular());
+  }
+}
+
+TEST(LuTest, SolveIntoMatchesSolve) {
+  Matrix a{{2.0, 1.0, 0.5}, {1.0, 3.0, 0.25}, {0.5, 0.25, 4.0}};
+  LuDecomposition lu(a);
+
+  Vector b{1.0, -2.0, 3.0};
+  Vector x = lu.Solve(b);
+  Vector x_into;
+  lu.SolveInto(b, &x_into);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(x_into[i], x[i]);
+
+  Matrix rhs{{1.0, 0.0}, {2.0, 1.0}, {0.0, -1.0}};
+  Matrix y = lu.Solve(rhs);
+  Matrix y_into;
+  lu.SolveInto(rhs, &y_into);
+  EXPECT_TRUE(y_into == y);
+}
+
+TEST(LuTest, InverseIntoMatchesInverse) {
+  Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  LuDecomposition lu(a);
+  Matrix inv = lu.Inverse();
+  Matrix inv_into;
+  lu.InverseInto(&inv_into);
+  EXPECT_TRUE(inv_into == inv);
+}
+
 // Property sweep: det(AB) = det(A)det(B) on random matrices.
 class LuPropertyTest : public ::testing::TestWithParam<int> {};
 

@@ -137,6 +137,45 @@ TEST(SerializationRobustnessTest, WrongVersionRejected) {
   EXPECT_FALSE(hmm::LoadHmm<int>(ss).ok());
 }
 
+TEST(SerializationRobustnessTest, AbsurdStateCountRejected) {
+  // A corrupt header must fail fast instead of sizing an enormous pi / A
+  // allocation off attacker-controlled input.
+  std::stringstream ss("dhmm-model 1\n999999999\n0.5 0.5\n");
+  auto r = hmm::LoadHmm<int>(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializationRobustnessTest, NonStochasticPiRejected) {
+  // pi sums to 1.7: previously loaded without complaint and aborted later
+  // inside HmmModel::Validate, mid-training.
+  std::stringstream ss(
+      "dhmm-model 1\n2\n0.9 0.8\n0.5 0.5\n0.5 0.5\n"
+      "categorical\n2 2 0\n0.5 0.5\n0.5 0.5\n");
+  auto r = hmm::LoadHmm<int>(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationRobustnessTest, NegativePiEntryRejected) {
+  std::stringstream ss(
+      "dhmm-model 1\n2\n-0.2 1.2\n0.5 0.5\n0.5 0.5\n"
+      "categorical\n2 2 0\n0.5 0.5\n0.5 0.5\n");
+  auto r = hmm::LoadHmm<int>(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationRobustnessTest, NonStochasticTransitionRowRejected) {
+  // Second transition row sums to 1.2.
+  std::stringstream ss(
+      "dhmm-model 1\n2\n0.5 0.5\n0.5 0.5\n0.7 0.5\n"
+      "categorical\n2 2 0\n0.5 0.5\n0.5 0.5\n");
+  auto r = hmm::LoadHmm<int>(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SerializationRobustnessTest, EmissionStateMismatchRejected) {
   // Header says 2 states but the categorical payload has 3.
   std::stringstream ss(
