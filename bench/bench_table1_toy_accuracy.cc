@@ -32,13 +32,16 @@ int main() {
     labels.push_back(StrFormat("state %zu", i + 1));
   }
 
+  auto to_std = [](const linalg::Vector& v) {
+    return std::vector<double>(v.values().begin(), v.values().end());
+  };
   std::printf("--- state histograms (Viterbi decodes) ---\n");
   std::printf("ground-truth parameters:\n%s\n",
-              AsciiBarChart(labels, hist_truth.values()).c_str());
+              AsciiBarChart(labels, to_std(hist_truth)).c_str());
   std::printf("HMM-learned parameters:\n%s\n",
-              AsciiBarChart(labels, hist_hmm.values()).c_str());
+              AsciiBarChart(labels, to_std(hist_hmm)).c_str());
   std::printf("dHMM-learned parameters:\n%s\n",
-              AsciiBarChart(labels, hist_dhmm.values()).c_str());
+              AsciiBarChart(labels, to_std(hist_dhmm)).c_str());
 
   double acc_truth =
       eval::OneToOneAccuracy(run.truth_paths, run.gold, k).accuracy;

@@ -15,6 +15,7 @@
 #ifndef DHMM_HMM_ENGINE_H_
 #define DHMM_HMM_ENGINE_H_
 
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -65,6 +66,9 @@ class BatchEmEngine {
                    prob::EmissionModel<Obs>* emission_acc = nullptr) {
     const size_t k = model.num_states();
     per_seq_.resize(data.size());
+    // Each worker's workspace carries a TransitionCache: the first sequence a
+    // worker sees after an M-step rebuilds A^T once, every later sequence
+    // revalidates with a k*k memcmp and reuses it.
     pool_.ParallelFor(data.size(), [&](int worker, size_t s) {
       InferenceWorkspace& ws = workspaces_[static_cast<size_t>(worker)];
       const Sequence<Obs>& seq = data[s];
@@ -86,7 +90,7 @@ class BatchEmEngine {
       stats.trans_acc += fb.xi_sum;
       if (emission_acc != nullptr) {
         for (size_t t = 0; t < data[s].length(); ++t) {
-          for (size_t i = 0; i < k; ++i) qrow_[i] = fb.gamma(t, i);
+          std::memcpy(qrow_.data(), fb.gamma.row_data(t), k * sizeof(double));
           emission_acc->Accumulate(data[s].obs[t], qrow_);
         }
       }

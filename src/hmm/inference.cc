@@ -1,19 +1,59 @@
 #include "hmm/inference.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "linalg/kernels.h"
 #include "prob/logsumexp.h"
 #include "util/check.h"
 
 namespace dhmm::hmm {
+
+namespace klib = linalg::kernels;
+
+bool TransitionCache::Sync(const linalg::Matrix& a) {
+  const size_t k = a.rows();
+  DHMM_CHECK(a.cols() == k);
+  if (a_copy_.rows() == k && a_copy_.cols() == k &&
+      std::memcmp(a_copy_.data(), a.data(), k * k * sizeof(double)) == 0) {
+    return false;
+  }
+  a_copy_.Resize(k, k);
+  std::memcpy(a_copy_.data(), a.data(), k * k * sizeof(double));
+  a_t_.Resize(k, k);
+  klib::TransposeInto(a.data(), k, k, a_t_.data());
+  log_valid_ = false;
+  ++version_;
+  return true;
+}
+
+const linalg::Matrix& TransitionCache::Transpose(const linalg::Matrix& a) {
+  Sync(a);
+  return a_t_;
+}
+
+const linalg::Matrix& TransitionCache::LogTranspose(const linalg::Matrix& a) {
+  Sync(a);
+  if (!log_valid_) {
+    const size_t k = a_t_.rows();
+    log_a_t_.Resize(k, k);
+    const double* src = a_t_.data();
+    double* dst = log_a_t_.data();
+    for (size_t i = 0; i < k * k; ++i) {
+      dst[i] = src[i] > 0.0 ? std::log(src[i]) : prob::kNegInf;
+    }
+    log_valid_ = true;
+  }
+  return log_a_t_;
+}
 
 namespace {
 
 // Fills ws->btilde / ws->shift with the shifted emissions for every frame:
 // btilde(t, i) = exp(log_b(t, i) - m_t) with m_t = max_i log_b(t, i), so at
 // least one entry per row is exactly 1. Computed once per sequence and shared
-// by the forward, backward, and xi loops (the seed code recomputed the same
-// row up to three times per frame).
+// by the forward and the fused backward/xi loops (the seed code recomputed
+// the same row up to three times per frame).
 void PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
                                 InferenceWorkspace* ws) {
   const size_t big_t = log_b.rows();
@@ -21,15 +61,22 @@ void PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
   ws->btilde.Resize(big_t, k);
   ws->shift.Resize(big_t);
   for (size_t t = 0; t < big_t; ++t) {
-    const double* row = log_b.row_data(t);
-    double m = prob::kNegInf;
-    for (size_t i = 0; i < k; ++i) m = std::max(m, row[i]);
+    const double m =
+        klib::ExpShiftRow(log_b.row_data(t), k, ws->btilde.row_data(t));
     DHMM_CHECK_MSG(m != prob::kNegInf,
                    "frame has zero emission probability in every state");
-    double* out = ws->btilde.row_data(t);
-    for (size_t i = 0; i < k; ++i) out[i] = std::exp(row[i] - m);
     ws->shift[t] = m;
   }
+}
+
+// gamma(t, .) = normalized alpha_hat(t, .) * beta_hat(t, .), with the
+// division replaced by one hoisted reciprocal multiply.
+void GammaRow(const double* alpha_row, const double* beta_row, size_t k,
+              double* gamma_row) {
+  klib::MulRowInto(alpha_row, beta_row, k, gamma_row);
+  const double norm = klib::SumRow(gamma_row, k);
+  DHMM_CHECK(norm > 0.0);
+  klib::ScaleRow(gamma_row, k, 1.0 / norm);
 }
 
 }  // namespace
@@ -52,70 +99,62 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   ws->alpha_hat.Resize(big_t, k);
   ws->beta_hat.Resize(big_t, k);
   ws->scale.Resize(big_t);
+  ws->frame_u.Resize(k);
   linalg::Matrix& alpha_hat = ws->alpha_hat;
   linalg::Matrix& beta_hat = ws->beta_hat;
   const linalg::Matrix& btilde = ws->btilde;
   linalg::Vector& scale = ws->scale;
+  // Forward recursion reads A column-wise; dot against rows of the cached
+  // transpose instead (rebuilt only when A changes, once per EM iteration).
+  const linalg::Matrix& a_t = ws->transition.Transpose(a);
 
   // Forward pass with per-step normalization (scale c_t) and per-frame
   // emission shifts m_t: log P(Y) = sum_t (log c_t + m_t).
   double loglik = 0.0;
-  double c = 0.0;
-  for (size_t i = 0; i < k; ++i) {
-    alpha_hat(0, i) = pi[i] * btilde(0, i);
-    c += alpha_hat(0, i);
-  }
+  double* alpha0 = alpha_hat.row_data(0);
+  klib::MulRowInto(pi.data(), btilde.row_data(0), k, alpha0);
+  double c = klib::SumRow(alpha0, k);
   DHMM_CHECK_MSG(c > 0.0, "initial frame has zero probability under pi");
-  for (size_t i = 0; i < k; ++i) alpha_hat(0, i) /= c;
+  klib::ScaleRow(alpha0, k, 1.0 / c);
   scale[0] = c;
   loglik += std::log(c) + ws->shift[0];
 
   for (size_t t = 1; t < big_t; ++t) {
-    c = 0.0;
-    for (size_t j = 0; j < k; ++j) {
-      double s = 0.0;
-      for (size_t i = 0; i < k; ++i) s += alpha_hat(t - 1, i) * a(i, j);
-      alpha_hat(t, j) = s * btilde(t, j);
-      c += alpha_hat(t, j);
-    }
+    double* cur = alpha_hat.row_data(t);
+    // Fused step: cur[j] = dot(a_t row j, alpha_{t-1}) * btilde(t, j).
+    klib::MatVecColMul(a_t.data(), alpha_hat.row_data(t - 1),
+                       btilde.row_data(t), k, k, cur);
+    c = klib::SumRow(cur, k);
     DHMM_CHECK_MSG(c > 0.0, "forward message vanished (unreachable frame)");
-    for (size_t j = 0; j < k; ++j) alpha_hat(t, j) /= c;
+    klib::ScaleRow(cur, k, 1.0 / c);
     scale[t] = c;
     loglik += std::log(c) + ws->shift[t];
   }
   out->log_likelihood = loglik;
 
-  // Backward pass using the same scales.
-  for (size_t i = 0; i < k; ++i) beta_hat(big_t - 1, i) = 1.0;
+  // Fused backward / gamma / xi sweep. At step t the frame product
+  // u = btilde(t+1,.) * beta_hat(t+1,.) / c_{t+1} is computed once (the seed
+  // recomputed it k times and divided inside the innermost loop) and reused
+  // by both the backward row-dots and the xi row-axpys while it is hot.
+  double* beta_last = beta_hat.row_data(big_t - 1);
+  for (size_t i = 0; i < k; ++i) beta_last[i] = 1.0;
+  GammaRow(alpha_hat.row_data(big_t - 1), beta_last, k,
+           out->gamma.row_data(big_t - 1));
+  double* u = ws->frame_u.data();
   for (size_t t = big_t - 1; t-- > 0;) {
+    klib::MulRowScaledInto(btilde.row_data(t + 1), beta_hat.row_data(t + 1),
+                           1.0 / scale[t + 1], k, u);
+    const double* alpha_row = alpha_hat.row_data(t);
+    double* beta_row = beta_hat.row_data(t);
     for (size_t i = 0; i < k; ++i) {
-      double s = 0.0;
-      for (size_t j = 0; j < k; ++j) {
-        s += a(i, j) * btilde(t + 1, j) * beta_hat(t + 1, j);
-      }
-      beta_hat(t, i) = s / scale[t + 1];
-    }
-  }
-
-  // Unary posteriors gamma and summed pairwise posteriors xi.
-  for (size_t t = 0; t < big_t; ++t) {
-    double norm = 0.0;
-    for (size_t i = 0; i < k; ++i) {
-      out->gamma(t, i) = alpha_hat(t, i) * beta_hat(t, i);
-      norm += out->gamma(t, i);
-    }
-    DHMM_CHECK(norm > 0.0);
-    for (size_t i = 0; i < k; ++i) out->gamma(t, i) /= norm;
-  }
-  for (size_t t = 1; t < big_t; ++t) {
-    for (size_t i = 0; i < k; ++i) {
-      double ai = alpha_hat(t - 1, i);
-      if (ai == 0.0) continue;
-      for (size_t j = 0; j < k; ++j) {
-        out->xi_sum(i, j) +=
-            ai * a(i, j) * btilde(t, j) * beta_hat(t, j) / scale[t];
+      const double* a_row = a.row_data(i);
+      beta_row[i] = klib::Dot(a_row, u, k);
+      const double ai = alpha_row[i];
+      if (ai != 0.0) {
+        klib::AxpyMulRow(ai, a_row, u, k, out->xi_sum.row_data(i));
       }
     }
+    GammaRow(alpha_row, beta_row, k, out->gamma.row_data(t));
   }
 }
 
@@ -138,43 +177,33 @@ double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
   ws->alpha.Resize(k);
   ws->alpha_next.Resize(k);
   ws->frame.Resize(k);
-  linalg::Vector& alpha = ws->alpha;
-  linalg::Vector& next = ws->alpha_next;
-  linalg::Vector& btilde = ws->frame;
+  double* alpha = ws->alpha.data();
+  double* next = ws->alpha_next.data();
+  double* btilde = ws->frame.data();
+  const linalg::Matrix& a_t = ws->transition.Transpose(a);
 
   // One frame of shifted emissions at a time: the forward-only pass never
   // revisits a frame, so a full T x k cache would be wasted work.
   auto shifted = [&](size_t t) {
-    const double* row = log_b.row_data(t);
-    double m = prob::kNegInf;
-    for (size_t i = 0; i < k; ++i) m = std::max(m, row[i]);
+    const double m = klib::ExpShiftRow(log_b.row_data(t), k, btilde);
     DHMM_CHECK_MSG(m != prob::kNegInf,
                    "frame has zero emission probability in every state");
-    for (size_t i = 0; i < k; ++i) btilde[i] = std::exp(row[i] - m);
     return m;
   };
 
   double loglik = 0.0;
   double m = shifted(0);
-  double c = 0.0;
-  for (size_t i = 0; i < k; ++i) {
-    alpha[i] = pi[i] * btilde[i];
-    c += alpha[i];
-  }
+  klib::MulRowInto(pi.data(), btilde, k, alpha);
+  double c = klib::SumRow(alpha, k);
   DHMM_CHECK(c > 0.0);
-  for (size_t i = 0; i < k; ++i) alpha[i] /= c;
+  klib::ScaleRow(alpha, k, 1.0 / c);
   loglik += std::log(c) + m;
   for (size_t t = 1; t < big_t; ++t) {
     m = shifted(t);
-    c = 0.0;
-    for (size_t j = 0; j < k; ++j) {
-      double s = 0.0;
-      for (size_t i = 0; i < k; ++i) s += alpha[i] * a(i, j);
-      next[j] = s * btilde[j];
-      c += next[j];
-    }
+    klib::MatVecColMul(a_t.data(), alpha, btilde, k, k, next);
+    c = klib::SumRow(next, k);
     DHMM_CHECK(c > 0.0);
-    for (size_t j = 0; j < k; ++j) alpha[j] = next[j] / c;
+    klib::ScaleRowInto(next, 1.0 / c, k, alpha);
     loglik += std::log(c) + m;
   }
   return loglik;
@@ -195,17 +224,14 @@ void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
   DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
   DHMM_CHECK(big_t > 0);
 
-  // Log-domain tables.
   ws->log_pi.Resize(k);
-  ws->log_a.Resize(k, k);
   for (size_t i = 0; i < k; ++i) {
     ws->log_pi[i] = pi[i] > 0.0 ? std::log(pi[i]) : prob::kNegInf;
   }
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = 0; j < k; ++j) {
-      ws->log_a(i, j) = a(i, j) > 0.0 ? std::log(a(i, j)) : prob::kNegInf;
-    }
-  }
+  // The recursion maxes over predecessors i of log_a(i, j) for fixed j — a
+  // column of log A. Dot against rows of the cached log-transpose instead;
+  // like the forward transpose it is rebuilt only when A changes.
+  const linalg::Matrix& log_a_t = ws->transition.LogTranspose(a);
 
   ws->delta.Resize(big_t, k);
   // Backpointers as one flat row-major T*k buffer: psi[t * k + j] is the
@@ -218,36 +244,26 @@ void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
   for (size_t i = 0; i < k; ++i) delta(0, i) = ws->log_pi[i] + log_b(0, i);
   for (size_t t = 1; t < big_t; ++t) {
     int* psi_row = psi.data() + t * k;
+    const double* prev = delta.row_data(t - 1);
+    const double* lb_row = log_b.row_data(t);
+    double* delta_row = delta.row_data(t);
     for (size_t j = 0; j < k; ++j) {
-      // Strict > keeps the lowest-index predecessor on ties (pinned by
-      // tests/engine_test.cc).
+      // ArgMaxSumRow uses strict >, keeping the lowest-index predecessor on
+      // ties (pinned by tests/engine_test.cc).
       double best = prob::kNegInf;
-      int arg = 0;
-      for (size_t i = 0; i < k; ++i) {
-        double v = delta(t - 1, i) + ws->log_a(i, j);
-        if (v > best) {
-          best = v;
-          arg = static_cast<int>(i);
-        }
-      }
-      delta(t, j) = best + log_b(t, j);
-      psi_row[j] = arg;
+      psi_row[j] = static_cast<int>(
+          klib::ArgMaxSumRow(prev, log_a_t.row_data(j), k, &best));
+      delta_row[j] = best + lb_row[j];
     }
   }
 
   out->path.resize(big_t);
-  double best = prob::kNegInf;
-  int arg = 0;
-  for (size_t i = 0; i < k; ++i) {
-    if (delta(big_t - 1, i) > best) {
-      best = delta(big_t - 1, i);
-      arg = static_cast<int>(i);
-    }
-  }
-  DHMM_CHECK_MSG(best != prob::kNegInf,
+  const double* last = delta.row_data(big_t - 1);
+  const size_t arg = klib::ArgMaxRow(last, k);
+  DHMM_CHECK_MSG(last[arg] != prob::kNegInf,
                  "no state path has positive probability");
-  out->log_joint = best;
-  out->path[big_t - 1] = arg;
+  out->log_joint = last[arg];
+  out->path[big_t - 1] = static_cast<int>(arg);
   for (size_t t = big_t - 1; t-- > 0;) {
     out->path[t] = psi[(t + 1) * k + out->path[t + 1]];
   }

@@ -10,15 +10,58 @@
 // buffers are reused across calls. The batched EM engine (hmm/engine.h) keeps
 // one workspace per worker thread and runs entire training jobs without
 // touching the allocator after warm-up.
+//
+// The inner loops run on the deterministic micro-kernels in linalg/kernels.h
+// (restrict pointers, fixed 4-way accumulation order, 64-byte-aligned
+// storage): results are bitwise reproducible for a given input regardless of
+// workspace reuse or thread count. Transition-matrix derivatives (the
+// transpose used by the forward pass and the log-transpose used by Viterbi)
+// are cached in the workspace keyed by the matrix contents, so they are
+// rebuilt once per EM iteration instead of re-read column-wise T times per
+// sequence.
 #ifndef DHMM_HMM_INFERENCE_H_
 #define DHMM_HMM_INFERENCE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
 namespace dhmm::hmm {
+
+/// \brief Content-keyed cache of derived views of a transition matrix.
+///
+/// The forward recursion consumes A column-wise (alpha_t = A^T alpha_{t-1})
+/// and Viterbi consumes log A column-wise; both want a contiguous row to dot
+/// against. The cache stores A^T (and lazily log A^T) and revalidates by
+/// bitwise comparison against a snapshot of A, so the rebuild happens once
+/// per EM iteration (when the M-step writes a new A) rather than per
+/// sequence. Rebuilds are in-place for a fixed k: no steady-state heap
+/// allocations.
+class TransitionCache {
+ public:
+  /// Returns A^T, rebuilding iff `a` differs bitwise from the snapshot.
+  const linalg::Matrix& Transpose(const linalg::Matrix& a);
+
+  /// Returns elementwise log(A)^T with log(0) = -inf, rebuilding on the
+  /// same staleness condition (and lazily on first use).
+  const linalg::Matrix& LogTranspose(const linalg::Matrix& a);
+
+  /// Bumped every time the snapshot is refreshed; tests use this to assert
+  /// the cache rebuilds exactly when A changes.
+  uint64_t version() const { return version_; }
+
+ private:
+  /// Snapshots `a` if it changed; returns true when a rebuild happened.
+  bool Sync(const linalg::Matrix& a);
+
+  linalg::Matrix a_copy_;    // bitwise snapshot of A for staleness detection
+  linalg::Matrix a_t_;       // A^T
+  linalg::Matrix log_a_t_;   // log(A)^T, built lazily for Viterbi
+  bool log_valid_ = false;
+  uint64_t version_ = 0;
+};
 
 /// \brief Reusable scratch buffers for the inference kernels.
 ///
@@ -33,12 +76,16 @@ struct InferenceWorkspace {
   linalg::Matrix btilde;     ///< T x k cached shifted emissions exp(logb - m_t)
   linalg::Vector shift;      ///< T per-frame emission shifts m_t
   linalg::Vector scale;      ///< T forward normalizers c_t
+  linalg::Vector frame_u;    ///< k hoisted backward frame product
+                             ///< btilde(t+1,.) * beta_hat(t+1,.) / c_{t+1}
+
+  // Cached transition-matrix derivatives (transpose / log-transpose).
+  TransitionCache transition;
 
   // Viterbi scratch.
   linalg::Matrix delta;      ///< T x k best log-joint per state
   std::vector<int> psi;      ///< flat row-major T*k backpointers
   linalg::Vector log_pi;     ///< k log initial distribution
-  linalg::Matrix log_a;      ///< k x k log transition matrix
 
   // Forward-only scratch (LogLikelihood).
   linalg::Vector alpha;      ///< k current forward message
@@ -72,7 +119,9 @@ struct ForwardBackwardResult {
 /// is stable for arbitrarily peaked emissions (e.g. 128-pixel Bernoulli
 /// products at log-prob ~ -90). The shifted emissions are computed exactly
 /// once per frame into the workspace's cached table and shared by the
-/// forward, backward, and xi-accumulation loops.
+/// forward and the fused backward/xi loops; the backward pass and the
+/// xi-accumulation run as a single sweep over t that reuses the per-frame
+/// product btilde(t+1,.) * beta_hat(t+1,.) / c_{t+1} while it is hot.
 ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
                                       const linalg::Matrix& a,
                                       const linalg::Matrix& log_b);
@@ -108,7 +157,8 @@ ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
 
 /// \brief Workspace form: backpointers live in the workspace's flat
 /// row-major `psi` buffer (one allocation for the whole table, reused across
-/// calls) instead of T separate heap rows.
+/// calls) and the log-transition matrix comes from the workspace's
+/// TransitionCache (rebuilt only when A changes).
 void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
              const linalg::Matrix& log_b, InferenceWorkspace* ws,
              ViterbiResult* out);

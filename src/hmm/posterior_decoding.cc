@@ -1,5 +1,7 @@
 #include "hmm/posterior_decoding.h"
 
+#include "linalg/kernels.h"
+
 namespace dhmm::hmm {
 
 void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
@@ -10,12 +12,9 @@ void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
   const size_t k = log_b.cols();
   path->resize(big_t);
   for (size_t t = 0; t < big_t; ++t) {
-    const double* row = fb->gamma.row_data(t);
-    size_t arg = 0;
-    for (size_t i = 1; i < k; ++i) {
-      if (row[i] > row[arg]) arg = i;
-    }
-    (*path)[t] = static_cast<int>(arg);
+    // Lowest index wins ties, matching the Viterbi tie-break contract.
+    (*path)[t] =
+        static_cast<int>(linalg::kernels::ArgMaxRow(fb->gamma.row_data(t), k));
   }
 }
 

@@ -1,0 +1,83 @@
+// 64-byte-aligned storage for the dense containers.
+//
+// The micro-kernel layer (linalg/kernels.h) walks rows with restrict-
+// qualified pointers and fixed 4-way accumulator streams; aligning every
+// row-major buffer to a cache line lets the compiler emit aligned vector
+// loads for those contiguous sweeps and keeps rows from straddling lines.
+//
+// The allocator deliberately routes through the plain global
+// `operator new` / `operator delete` (over-allocating and aligning by hand)
+// instead of the C++17 align_val_t overloads: the allocation-contract tests
+// (tests/mstep_test.cc, tests/kernels_test.cc) instrument the plain global
+// operator new to prove hot paths are allocation-free, and an aligned-new
+// side channel would escape that accounting.
+#ifndef DHMM_LINALG_ALIGNED_H_
+#define DHMM_LINALG_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace dhmm::linalg {
+
+/// \brief Cache-line alignment used by every linalg buffer.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// \brief Minimal C++17 allocator returning kBufferAlignment-aligned blocks.
+///
+/// Layout: [raw block][pad][original pointer][aligned payload...]. The word
+/// immediately before the payload stores the pointer returned by
+/// `operator new`, so deallocate can recover it without any global state.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  static_assert(kBufferAlignment % alignof(T) == 0,
+                "payload type over-aligned for the buffer alignment");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes =
+        n * sizeof(T) + kBufferAlignment + sizeof(void*);
+    void* raw = ::operator new(bytes);
+    std::uintptr_t addr =
+        reinterpret_cast<std::uintptr_t>(raw) + sizeof(void*);
+    addr = (addr + kBufferAlignment - 1) &
+           ~static_cast<std::uintptr_t>(kBufferAlignment - 1);
+    void** slot = reinterpret_cast<void**>(addr) - 1;
+    *slot = raw;
+    return reinterpret_cast<T*>(addr);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (p == nullptr) return;
+    void** slot = reinterpret_cast<void**>(p) - 1;
+    ::operator delete(*slot);
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// \brief Backing store of linalg::Vector / linalg::Matrix.
+using AlignedBuffer = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace dhmm::linalg
+
+#endif  // DHMM_LINALG_ALIGNED_H_

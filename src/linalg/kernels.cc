@@ -1,0 +1,102 @@
+#include "linalg/kernels.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dhmm::linalg::kernels {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double SumRow(const double* DHMM_RESTRICT x, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i];
+    s1 += x[i + 1];
+    s2 += x[i + 2];
+    s3 += x[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double Dot(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT y,
+           std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double MaxRow(const double* DHMM_RESTRICT x, std::size_t n) {
+  double m = kNegInf;
+  for (std::size_t i = 0; i < n; ++i) m = x[i] > m ? x[i] : m;
+  return m;
+}
+
+void MulRowScaledInto(const double* DHMM_RESTRICT x,
+                      const double* DHMM_RESTRICT y, double s, std::size_t n,
+                      double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * y[i] * s;
+}
+
+void AxpyRow(double s, const double* DHMM_RESTRICT x, std::size_t n,
+             double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += s * x[i];
+}
+
+void AxpyMulRow(double s, const double* DHMM_RESTRICT x,
+                const double* DHMM_RESTRICT y, std::size_t n,
+                double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += s * x[i] * y[i];
+}
+
+void MatVecRow(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT a,
+               std::size_t m, std::size_t n, double* DHMM_RESTRICT out) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    AxpyRow(x[i], a + i * n, n, out);
+  }
+}
+
+void MatVecCol(const double* DHMM_RESTRICT a, const double* DHMM_RESTRICT x,
+               std::size_t m, std::size_t n, double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i] = Dot(a + i * n, x, n);
+  }
+}
+
+void MatVecColMul(const double* DHMM_RESTRICT a,
+                  const double* DHMM_RESTRICT x,
+                  const double* DHMM_RESTRICT w, std::size_t m, std::size_t n,
+                  double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i] = Dot(a + i * n, x, n) * w[i];
+  }
+}
+
+double ExpShiftRow(const double* DHMM_RESTRICT x, std::size_t n,
+                   double* DHMM_RESTRICT out) {
+  const double m = MaxRow(x, n);
+  if (m == kNegInf) return m;
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(x[i] - m);
+  return m;
+}
+
+void TransposeInto(const double* DHMM_RESTRICT a, std::size_t m,
+                   std::size_t n, double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* DHMM_RESTRICT row = a + i * n;
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = row[j];
+  }
+}
+
+}  // namespace dhmm::linalg::kernels

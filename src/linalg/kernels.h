@@ -1,0 +1,153 @@
+// Deterministic micro-kernels for the chain-algebra hot loops.
+//
+// Every primitive here works on restrict-qualified raw pointers over
+// contiguous (64-byte-aligned, see linalg/aligned.h) storage and reduces
+// through a fixed four-accumulator stream pattern: lanes 0..3 each sum every
+// fourth element, the tail folds into lane 0, and the lanes combine as
+// (s0 + s1) + (s2 + s3). That order is a compile-time property of the code —
+// no runtime dispatch, no FMA contraction surprises under the default flags —
+// so results are bitwise reproducible across calls, thread counts, and
+// buffer reuse, which the inference and engine contracts rely on.
+//
+// The kernels are deliberately shape-agnostic: callers (hmm/inference.cc,
+// linalg::Matrix) choose whether to feed a matrix or its cached transpose so
+// that every inner loop reads memory contiguously.
+#ifndef DHMM_LINALG_KERNELS_H_
+#define DHMM_LINALG_KERNELS_H_
+
+#include <cstddef>
+
+#if defined(_MSC_VER)
+#define DHMM_RESTRICT __restrict
+#else
+#define DHMM_RESTRICT __restrict__
+#endif
+
+namespace dhmm::linalg::kernels {
+
+// The branchy scan primitives (argmax) and cheap elementwise maps are
+// defined inline: the chain recursions call them once per (frame, state)
+// pair with rows as short as k = 2, where an out-of-line call costs more
+// than the loop body. The reduction/axpy kernels stay out-of-line in
+// kernels.cc, where their restrict qualifiers demonstrably survive to the
+// optimizer and the 4-way streams vectorize. Inline-vs-not cannot change
+// results — the accumulation order is fixed by the source and the build
+// uses strict IEEE semantics (no fast-math, no reassociation).
+
+/// \brief Sum of x[0..n) with the fixed 4-way accumulation order.
+double SumRow(const double* DHMM_RESTRICT x, std::size_t n);
+
+/// \brief Dot product of x and y with the fixed 4-way accumulation order.
+double Dot(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT y,
+           std::size_t n);
+
+/// \brief Maximum of x[0..n); n must be positive.
+double MaxRow(const double* DHMM_RESTRICT x, std::size_t n);
+
+/// \brief Index of the maximum of x[0..n); lowest index wins ties. n > 0.
+inline std::size_t ArgMaxRow(const double* DHMM_RESTRICT x, std::size_t n) {
+  std::size_t arg = 0;
+  double best = x[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (x[i] > best) {
+      best = x[i];
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+/// \brief Index maximizing x[i] + y[i]; lowest index wins ties, the winning
+/// value is written to *best. n > 0. This is one Viterbi transition step
+/// against a row of the cached transposed log-transition matrix.
+inline std::size_t ArgMaxSumRow(const double* DHMM_RESTRICT x,
+                                const double* DHMM_RESTRICT y, std::size_t n,
+                                double* DHMM_RESTRICT best) {
+  std::size_t arg = 0;
+  double b = x[0] + y[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double v = x[i] + y[i];
+    if (v > b) {
+      b = v;
+      arg = i;
+    }
+  }
+  *best = b;
+  return arg;
+}
+
+/// \brief In-place x *= s.
+inline void ScaleRow(double* DHMM_RESTRICT x, std::size_t n, double s) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+/// \brief out = x * s (out must not alias x).
+inline void ScaleRowInto(const double* DHMM_RESTRICT x, double s,
+                         std::size_t n, double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * s;
+}
+
+/// \brief out = x .* y elementwise (out must not alias the inputs).
+inline void MulRowInto(const double* DHMM_RESTRICT x,
+                       const double* DHMM_RESTRICT y, std::size_t n,
+                       double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+/// \brief out = x .* y * s — the hoisted backward frame product
+/// btilde(t+1,.) * beta_hat(t+1,.) / scale[t+1] computed once per frame
+/// (out must not alias the inputs).
+void MulRowScaledInto(const double* DHMM_RESTRICT x,
+                      const double* DHMM_RESTRICT y, double s, std::size_t n,
+                      double* DHMM_RESTRICT out);
+
+/// \brief out += s * x (contiguous axpy; out must not alias x).
+void AxpyRow(double s, const double* DHMM_RESTRICT x, std::size_t n,
+             double* DHMM_RESTRICT out);
+
+/// \brief out += s * x .* y — one xi-accumulation row:
+/// xi(i,.) += alpha_hat(t,i) * a(i,.) .* u (out must not alias the inputs).
+void AxpyMulRow(double s, const double* DHMM_RESTRICT x,
+                const double* DHMM_RESTRICT y, std::size_t n,
+                double* DHMM_RESTRICT out);
+
+/// \brief out = x^T A for row-major A (m x n): contiguous axpy over the rows
+/// of A, never touching a column stride. out must not alias x or A.
+///
+/// This is the axpy-formulation counterpart of MatVecCol for callers that
+/// need x^T A but cannot afford to build/cache a transpose (one-shot
+/// products over large rectangular A). The in-tree chain recursions all go
+/// through the cached transpose instead, so today this primitive is
+/// exercised only by the kernel tests; Matrix::MatMul keeps its own loop
+/// because its zero-skip changes 0 * inf semantics.
+void MatVecRow(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT a,
+               std::size_t m, std::size_t n, double* DHMM_RESTRICT out);
+
+/// \brief out = A x for row-major A (m x n): one 4-way dot per row. To
+/// compute x^T A with dot-style accumulation instead of axpy, pass the
+/// cached transpose of A (see hmm::TransitionCache). out must not alias.
+void MatVecCol(const double* DHMM_RESTRICT a, const double* DHMM_RESTRICT x,
+               std::size_t m, std::size_t n, double* DHMM_RESTRICT out);
+
+/// \brief out = (A x) .* w — the fused forward step: one dot against a row
+/// of the cached transposed transition matrix, multiplied by the frame's
+/// shifted emission while the dot result is still in a register.
+void MatVecColMul(const double* DHMM_RESTRICT a,
+                  const double* DHMM_RESTRICT x,
+                  const double* DHMM_RESTRICT w, std::size_t m, std::size_t n,
+                  double* DHMM_RESTRICT out);
+
+/// \brief Shifted exponentiation of one emission row: returns
+/// m = max_i x[i] and writes out[i] = exp(x[i] - m), so at least one output
+/// is exactly 1. Returns -inf (and writes nothing useful) only when every
+/// input is -inf; callers treat that as a zero-probability frame.
+double ExpShiftRow(const double* DHMM_RESTRICT x, std::size_t n,
+                   double* DHMM_RESTRICT out);
+
+/// \brief out = A^T for row-major A (m x n); out is n x m row-major.
+void TransposeInto(const double* DHMM_RESTRICT a, std::size_t m,
+                   std::size_t n, double* DHMM_RESTRICT out);
+
+}  // namespace dhmm::linalg::kernels
+
+#endif  // DHMM_LINALG_KERNELS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/string_util.h"
 
 namespace dhmm::linalg {
@@ -95,9 +96,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
     for (size_t k = 0; k < cols_; ++k) {
       double a = (*this)(i, k);
       if (a == 0.0) continue;
-      const double* brow = other.row_data(k);
-      double* orow = out.row_data(i);
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      kernels::AxpyRow(a, other.row_data(k), other.cols_, out.row_data(i));
     }
   }
   return out;
@@ -106,19 +105,13 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Vector Matrix::MatVec(const Vector& v) const {
   DHMM_CHECK(cols_ == v.size());
   Vector out(rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* row = row_data(i);
-    double s = 0.0;
-    for (size_t j = 0; j < cols_; ++j) s += row[j] * v[j];
-    out[i] = s;
-  }
+  kernels::MatVecCol(data_.data(), v.data(), rows_, cols_, out.data());
   return out;
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i)
-    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  kernels::TransposeInto(data_.data(), rows_, cols_, out.data());
   return out;
 }
 

@@ -5,8 +5,8 @@
 #include <cstddef>
 #include <initializer_list>
 #include <string>
-#include <vector>
 
+#include "linalg/aligned.h"
 #include "linalg/vector.h"
 #include "util/check.h"
 
@@ -18,7 +18,9 @@ namespace dhmm::linalg {
 /// emission parameter tables and sufficient statistics. It favours clarity
 /// over BLAS-level performance: the matrices in this system are k x k with
 /// k <= a few dozen states, or k x V with V in the tens of thousands but only
-/// touched with O(kV) passes.
+/// touched with O(kV) passes. Storage is 64-byte aligned (linalg/aligned.h)
+/// and the arithmetic hot paths route through the deterministic micro-kernels
+/// in linalg/kernels.h.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -130,7 +132,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace dhmm::linalg

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace dhmm::linalg {
 
 double Vector::sum() const {
@@ -35,9 +37,7 @@ size_t Vector::argmax() const {
 
 double Vector::dot(const Vector& other) const {
   DHMM_CHECK(size() == other.size());
-  double s = 0.0;
-  for (size_t i = 0; i < size(); ++i) s += data_[i] * other.data_[i];
-  return s;
+  return kernels::Dot(data_.data(), other.data_.data(), size());
 }
 
 Vector& Vector::operator*=(double s) {

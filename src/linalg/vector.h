@@ -6,11 +6,15 @@
 #include <initializer_list>
 #include <vector>
 
+#include "linalg/aligned.h"
 #include "util/check.h"
 
 namespace dhmm::linalg {
 
 /// \brief Dense vector of doubles with bounds-checked (debug) access.
+///
+/// Storage is 64-byte aligned (linalg/aligned.h) so the kernel layer's
+/// contiguous sweeps start on a cache-line boundary.
 class Vector {
  public:
   Vector() = default;
@@ -20,8 +24,9 @@ class Vector {
   Vector(size_t n, double value) : data_(n, value) {}
   /// From an initializer list, e.g. Vector{1.0, 2.0}.
   Vector(std::initializer_list<double> init) : data_(init) {}
-  /// From a std::vector (copies).
-  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+  /// From a std::vector (copies into aligned storage).
+  explicit Vector(const std::vector<double>& values)
+      : data_(values.begin(), values.end()) {}
 
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -45,9 +50,9 @@ class Vector {
   const double* data() const { return data_.data(); }
   double* data() { return data_.data(); }
 
-  /// Underlying storage (for interop with std algorithms).
-  const std::vector<double>& values() const { return data_; }
-  std::vector<double>& values() { return data_; }
+  /// Underlying aligned storage (for interop with std algorithms).
+  const AlignedBuffer& values() const { return data_; }
+  AlignedBuffer& values() { return data_; }
 
   // --- elementwise / reduction operations ---------------------------------
 
@@ -80,7 +85,7 @@ class Vector {
   friend Vector operator*(double s, Vector a) { return a *= s; }
 
  private:
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace dhmm::linalg

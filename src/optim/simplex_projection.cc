@@ -10,7 +10,7 @@ namespace dhmm::optim {
 linalg::Vector ProjectToSimplex(const linalg::Vector& v) {
   const size_t n = v.size();
   DHMM_CHECK(n > 0);
-  std::vector<double> u(v.values());
+  std::vector<double> u(v.values().begin(), v.values().end());
   std::sort(u.begin(), u.end(), std::greater<double>());
   double cumsum = 0.0;
   double tau = 0.0;

@@ -190,6 +190,40 @@ TEST(ForwardBackwardTest, SingleFrameSequence) {
   EXPECT_NEAR(fb.xi_sum.sum(), 0.0, 1e-15);
 }
 
+TEST(ForwardBackwardTest, SingleStateDegenerateChain) {
+  // k=1 exercises the kernel layer's shortest rows: gamma must be
+  // identically 1 and the likelihood the plain sum of emission rows.
+  linalg::Vector pi{1.0};
+  linalg::Matrix a{{1.0}};
+  linalg::Matrix log_b(5, 1);
+  double expected = 0.0;
+  for (size_t t = 0; t < 5; ++t) {
+    log_b(t, 0) = -0.3 * static_cast<double>(t + 1);
+    expected += log_b(t, 0);
+  }
+  ForwardBackwardResult fb = ForwardBackward(pi, a, log_b);
+  EXPECT_NEAR(fb.log_likelihood, expected, 1e-12);
+  for (size_t t = 0; t < 5; ++t) EXPECT_DOUBLE_EQ(fb.gamma(t, 0), 1.0);
+  EXPECT_DOUBLE_EQ(fb.xi_sum(0, 0), 4.0);
+}
+
+TEST(ViterbiTest, SingleFrameDecodesArgmaxOfPiTimesB) {
+  RandomCase c = MakeRandomCase(4, 1, 105);
+  ViterbiResult v = Viterbi(c.pi, c.a, c.log_b);
+  size_t best = 0;
+  double best_v = prob::kNegInf;
+  for (size_t i = 0; i < 4; ++i) {
+    double s = std::log(c.pi[i]) + c.log_b(0, i);
+    if (s > best_v) {
+      best_v = s;
+      best = i;
+    }
+  }
+  ASSERT_EQ(v.path.size(), 1u);
+  EXPECT_EQ(v.path[0], static_cast<int>(best));
+  EXPECT_NEAR(v.log_joint, best_v, 1e-12);
+}
+
 TEST(LogLikelihoodTest, AgreesWithForwardBackward) {
   RandomCase c = MakeRandomCase(4, 17, 104);
   ForwardBackwardResult fb = ForwardBackward(c.pi, c.a, c.log_b);

@@ -1,0 +1,423 @@
+// The inference-kernel contract (the PR-4 counterpart of mstep_test.cc):
+//  - every linalg micro-kernel matches a naive scalar reference across
+//    lengths that exercise all four accumulator lanes and the tail,
+//  - linalg buffers are 64-byte aligned,
+//  - ForwardBackward through the kernel path matches brute-force
+//    enumeration on a random (k, T) grid including k=1 and T=1,
+//  - the workspace's cached transition transpose is rebuilt exactly when A
+//    changes (stale-transpose detection) and never otherwise,
+//  - steady-state inference (ForwardBackward / LogLikelihood / Viterbi at a
+//    fixed shape, including an in-place transpose rebuild after an M-step
+//    mutates A) performs zero heap allocations (instrumented operator new).
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hmm/inference.h"
+#include "linalg/aligned.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "prob/logsumexp.h"
+#include "prob/rng.h"
+
+// ----------------------------------------------------- allocation counter ---
+
+// Global operator new instrumentation: every heap allocation made anywhere
+// in this binary bumps the counter, so a zero delta across a call proves the
+// call is allocation-free. linalg::AlignedAllocator routes through this
+// plain operator new on purpose (see linalg/aligned.h), so aligned buffers
+// are counted too.
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dhmm {
+namespace {
+
+namespace klib = linalg::kernels;
+
+// Lengths covering the empty tail, partial tails of 1..3, and multi-block
+// runs of the 4-way accumulator streams.
+const size_t kLengths[] = {1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 67};
+
+std::vector<double> RandomRow(size_t n, uint64_t seed, double lo = -2.0,
+                              double hi = 2.0) {
+  prob::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = lo + (hi - lo) * rng.Uniform();
+  return v;
+}
+
+// --------------------------------------------------------------- kernels ---
+
+TEST(KernelsTest, SumAndDotMatchNaiveReference) {
+  for (size_t n : kLengths) {
+    std::vector<double> x = RandomRow(n, 100 + n);
+    std::vector<double> y = RandomRow(n, 200 + n);
+    double sum_ref = 0.0, dot_ref = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum_ref += x[i];
+      dot_ref += x[i] * y[i];
+    }
+    EXPECT_NEAR(klib::SumRow(x.data(), n), sum_ref, 1e-13 * (1.0 + n))
+        << "n=" << n;
+    EXPECT_NEAR(klib::Dot(x.data(), y.data(), n), dot_ref, 1e-13 * (1.0 + n))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, DotIsDeterministicAcrossRepeats) {
+  std::vector<double> x = RandomRow(67, 1);
+  std::vector<double> y = RandomRow(67, 2);
+  const double first = klib::Dot(x.data(), y.data(), 67);
+  for (int rep = 0; rep < 8; ++rep) {
+    EXPECT_EQ(klib::Dot(x.data(), y.data(), 67), first);
+  }
+}
+
+TEST(KernelsTest, MatVecRowAndColAgreeWithEachOtherAndNaive) {
+  for (size_t m : {1u, 3u, 5u, 20u}) {
+    for (size_t n : {1u, 4u, 7u, 50u}) {
+      std::vector<double> a = RandomRow(m * n, m * 100 + n);
+      std::vector<double> x = RandomRow(m, m + n);
+      std::vector<double> xt_a(n), naive(n, 0.0);
+      klib::MatVecRow(x.data(), a.data(), m, n, xt_a.data());
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) naive[j] += x[i] * a[i * n + j];
+      }
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(xt_a[j], naive[j], 1e-12) << m << "x" << n << " j=" << j;
+      }
+      // x^T A computed against the transpose via MatVecCol must agree.
+      std::vector<double> a_t(n * m), via_t(n);
+      klib::TransposeInto(a.data(), m, n, a_t.data());
+      klib::MatVecCol(a_t.data(), x.data(), n, m, via_t.data());
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(via_t[j], naive[j], 1e-12) << m << "x" << n << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, FusedRowOpsMatchComposition) {
+  for (size_t n : kLengths) {
+    std::vector<double> x = RandomRow(n, 300 + n);
+    std::vector<double> y = RandomRow(n, 400 + n);
+    std::vector<double> acc = RandomRow(n, 500 + n);
+    const double s = 1.7;
+
+    std::vector<double> out(n);
+    klib::MulRowScaledInto(x.data(), y.data(), s, n, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(out[i], x[i] * y[i] * s) << "n=" << n;
+    }
+
+    std::vector<double> acc2 = acc;
+    klib::AxpyMulRow(s, x.data(), y.data(), n, acc2.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(acc2[i], acc[i] + s * x[i] * y[i]) << "n=" << n;
+    }
+
+    klib::ScaleRowInto(x.data(), s, n, out.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(out[i], x[i] * s);
+  }
+}
+
+TEST(KernelsTest, ExpShiftRowLeavesAUnitEntry) {
+  for (size_t n : kLengths) {
+    std::vector<double> row = RandomRow(n, 600 + n, -90.0, -1.0);
+    std::vector<double> out(n);
+    const double m = klib::ExpShiftRow(row.data(), n, out.data());
+    double max_ref = row[0], max_out = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      max_ref = std::max(max_ref, row[i]);
+      max_out = std::max(max_out, out[i]);
+      EXPECT_NEAR(out[i], std::exp(row[i] - m), 1e-15);
+    }
+    EXPECT_DOUBLE_EQ(m, max_ref);
+    EXPECT_DOUBLE_EQ(max_out, 1.0);
+  }
+  // All -inf signals a zero-probability frame.
+  std::vector<double> dead(3, prob::kNegInf), out(3);
+  EXPECT_EQ(klib::ExpShiftRow(dead.data(), 3, out.data()), prob::kNegInf);
+}
+
+TEST(KernelsTest, ArgMaxBreaksTiesToLowestIndex) {
+  const double row[] = {1.0, 3.0, 3.0, 0.5};
+  EXPECT_EQ(klib::ArgMaxRow(row, 4), 1u);
+  const double x[] = {1.0, 2.0, 0.0};
+  const double y[] = {2.0, 1.0, 3.0};  // sums: 3, 3, 3 — all tie
+  double best = 0.0;
+  EXPECT_EQ(klib::ArgMaxSumRow(x, y, 3, &best), 0u);
+  EXPECT_DOUBLE_EQ(best, 3.0);
+}
+
+TEST(AlignedStorageTest, BuffersStartOnCacheLines) {
+  for (size_t n : {1u, 5u, 64u, 1000u}) {
+    linalg::Vector v(n);
+    linalg::Matrix m(n, 3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) %
+                  linalg::kBufferAlignment,
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) %
+                  linalg::kBufferAlignment,
+              0u);
+  }
+}
+
+// ----------------------------------------------- brute-force cross-check ---
+
+struct Chain {
+  linalg::Vector pi;
+  linalg::Matrix a;
+  linalg::Matrix log_b;
+};
+
+Chain MakeChain(size_t k, size_t big_t, uint64_t seed) {
+  prob::Rng rng(seed);
+  Chain c;
+  c.pi = rng.DirichletSymmetric(k, 1.5);
+  c.a = rng.RandomStochasticMatrix(k, k, 1.5);
+  c.log_b = linalg::Matrix(big_t, k);
+  for (size_t t = 0; t < big_t; ++t) {
+    for (size_t i = 0; i < k; ++i) c.log_b(t, i) = -6.0 * rng.Uniform();
+  }
+  return c;
+}
+
+// Enumerates all k^T paths; tractable for the grid below.
+void EnumerateReference(const Chain& c, double* loglik, linalg::Matrix* gamma,
+                        linalg::Matrix* xi_sum) {
+  const size_t k = c.pi.size();
+  const size_t big_t = c.log_b.rows();
+  size_t total = 1;
+  for (size_t t = 0; t < big_t; ++t) total *= k;
+  std::vector<double> logps(total);
+  double best = prob::kNegInf;
+  std::vector<int> path(big_t);
+  for (size_t code = 0; code < total; ++code) {
+    size_t rem = code;
+    for (size_t t = 0; t < big_t; ++t) {
+      path[t] = static_cast<int>(rem % k);
+      rem /= k;
+    }
+    double lp =
+        std::log(c.pi[static_cast<size_t>(path[0])]) + c.log_b(0, path[0]);
+    for (size_t t = 1; t < big_t; ++t) {
+      lp += std::log(c.a(static_cast<size_t>(path[t - 1]),
+                         static_cast<size_t>(path[t]))) +
+            c.log_b(t, path[t]);
+    }
+    logps[code] = lp;
+    best = std::max(best, lp);
+  }
+  double z = 0.0;
+  for (double lp : logps) z += std::exp(lp - best);
+  *loglik = best + std::log(z);
+  *gamma = linalg::Matrix(big_t, k);
+  *xi_sum = linalg::Matrix(k, k);
+  for (size_t code = 0; code < total; ++code) {
+    size_t rem = code;
+    for (size_t t = 0; t < big_t; ++t) {
+      path[t] = static_cast<int>(rem % k);
+      rem /= k;
+    }
+    const double w = std::exp(logps[code] - *loglik);
+    for (size_t t = 0; t < big_t; ++t) {
+      (*gamma)(t, static_cast<size_t>(path[t])) += w;
+    }
+    for (size_t t = 1; t < big_t; ++t) {
+      (*xi_sum)(static_cast<size_t>(path[t - 1]),
+                static_cast<size_t>(path[t])) += w;
+    }
+  }
+}
+
+TEST(KernelPathBruteForceTest, ForwardBackwardMatchesEnumerationOnGrid) {
+  // Dirty workspace reused across every shape, exactly as the engine does.
+  hmm::InferenceWorkspace ws;
+  hmm::ForwardBackwardResult fb;
+  for (size_t k : {1u, 2u, 3u, 5u}) {
+    for (size_t big_t : {1u, 2u, 4u, 6u}) {
+      Chain c = MakeChain(k, big_t, 7000 + 10 * k + big_t);
+      hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+      double ll_ref;
+      linalg::Matrix gamma_ref, xi_ref;
+      EnumerateReference(c, &ll_ref, &gamma_ref, &xi_ref);
+      EXPECT_NEAR(fb.log_likelihood, ll_ref, 1e-9) << "k=" << k
+                                                   << " T=" << big_t;
+      for (size_t t = 0; t < big_t; ++t) {
+        for (size_t i = 0; i < k; ++i) {
+          EXPECT_NEAR(fb.gamma(t, i), gamma_ref(t, i), 1e-9)
+              << "k=" << k << " T=" << big_t << " gamma(" << t << "," << i
+              << ")";
+        }
+      }
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = 0; j < k; ++j) {
+          EXPECT_NEAR(fb.xi_sum(i, j), xi_ref(i, j), 1e-9)
+              << "k=" << k << " T=" << big_t;
+        }
+      }
+      EXPECT_NEAR(hmm::LogLikelihood(c.pi, c.a, c.log_b, &ws), ll_ref, 1e-9);
+    }
+  }
+}
+
+TEST(KernelPathBruteForceTest, SingleStateChainIsExact) {
+  // k=1: gamma is identically 1, xi_sum counts T-1 transitions, and the
+  // log-likelihood is exactly the sum of the emission rows.
+  const size_t big_t = 9;
+  Chain c;
+  c.pi = linalg::Vector{1.0};
+  c.a = linalg::Matrix{{1.0}};
+  c.log_b = linalg::Matrix(big_t, 1);
+  double expected = 0.0;
+  for (size_t t = 0; t < big_t; ++t) {
+    c.log_b(t, 0) = -1.5 - static_cast<double>(t);
+    expected += c.log_b(t, 0);
+  }
+  hmm::ForwardBackwardResult fb = hmm::ForwardBackward(c.pi, c.a, c.log_b);
+  EXPECT_NEAR(fb.log_likelihood, expected, 1e-12);
+  for (size_t t = 0; t < big_t; ++t) EXPECT_DOUBLE_EQ(fb.gamma(t, 0), 1.0);
+  EXPECT_DOUBLE_EQ(fb.xi_sum(0, 0), static_cast<double>(big_t - 1));
+
+  hmm::ViterbiResult vit = hmm::Viterbi(c.pi, c.a, c.log_b);
+  EXPECT_NEAR(vit.log_joint, expected, 1e-12);
+  for (int s : vit.path) EXPECT_EQ(s, 0);
+}
+
+// -------------------------------------------------------- stale transpose ---
+
+TEST(TransitionCacheTest, RebuildsExactlyWhenAChanges) {
+  const size_t k = 4;
+  prob::Rng rng(11);
+  linalg::Matrix a = rng.RandomStochasticMatrix(k, k, 1.5);
+  hmm::TransitionCache cache;
+
+  const linalg::Matrix& at = cache.Transpose(a);
+  const uint64_t v1 = cache.version();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) EXPECT_EQ(at(j, i), a(i, j));
+  }
+
+  // Same contents: revalidation must not rebuild.
+  cache.Transpose(a);
+  linalg::Matrix same = a;
+  cache.Transpose(same);
+  EXPECT_EQ(cache.version(), v1);
+
+  // Mutated contents: the cached transpose must be rebuilt.
+  a(1, 2) += 0.125;
+  a(1, 3) -= 0.125;
+  const linalg::Matrix& at2 = cache.Transpose(a);
+  EXPECT_EQ(cache.version(), v1 + 1);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) EXPECT_EQ(at2(j, i), a(i, j));
+  }
+  // Log view follows the same staleness key.
+  const linalg::Matrix& lat = cache.LogTranspose(a);
+  EXPECT_DOUBLE_EQ(lat(2, 1), std::log(a(1, 2)));
+  EXPECT_EQ(cache.version(), v1 + 1);
+}
+
+TEST(TransitionCacheTest, InferenceSeesMutatedAThroughAReusedWorkspace) {
+  const size_t k = 3, big_t = 12;
+  Chain c = MakeChain(k, big_t, 21);
+  hmm::InferenceWorkspace ws;
+  hmm::ForwardBackwardResult fb;
+  hmm::ViterbiResult vit;
+  hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+  hmm::Viterbi(c.pi, c.a, c.log_b, &ws, &vit);
+
+  // Mutate A between calls (the M-step shape) and require the reused
+  // workspace to match a fresh one bitwise — a stale transpose would not.
+  prob::Rng rng(22);
+  c.a = rng.RandomStochasticMatrix(k, k, 0.7);
+  hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+  hmm::ForwardBackwardResult fresh = hmm::ForwardBackward(c.pi, c.a, c.log_b);
+  EXPECT_EQ(fb.log_likelihood, fresh.log_likelihood);
+  for (size_t t = 0; t < big_t; ++t) {
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(fb.gamma(t, i), fresh.gamma(t, i));
+    }
+  }
+  hmm::Viterbi(c.pi, c.a, c.log_b, &ws, &vit);
+  hmm::ViterbiResult vit_fresh = hmm::Viterbi(c.pi, c.a, c.log_b);
+  EXPECT_EQ(vit.log_joint, vit_fresh.log_joint);
+  EXPECT_EQ(vit.path, vit_fresh.path);
+  EXPECT_EQ(hmm::LogLikelihood(c.pi, c.a, c.log_b, &ws),
+            hmm::LogLikelihood(c.pi, c.a, c.log_b));
+}
+
+// -------------------------------------------------------- allocation-free ---
+
+TEST(InferenceAllocationTest, SteadyStateInferenceAllocatesNothing) {
+  const size_t k = 20, big_t = 60;
+  Chain c = MakeChain(k, big_t, 31);
+  hmm::InferenceWorkspace ws;
+  hmm::ForwardBackwardResult fb;
+  hmm::ViterbiResult vit;
+  // Warm-up sizes every buffer, including the cached transpose and the
+  // Viterbi log-transpose and backpointer table.
+  hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+  hmm::LogLikelihood(c.pi, c.a, c.log_b, &ws);
+  hmm::Viterbi(c.pi, c.a, c.log_b, &ws, &vit);
+
+  long before = g_alloc_count.load(std::memory_order_relaxed);
+  hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+  hmm::LogLikelihood(c.pi, c.a, c.log_b, &ws);
+  hmm::Viterbi(c.pi, c.a, c.log_b, &ws, &vit);
+  long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state inference made " << (after - before)
+      << " heap allocations";
+}
+
+TEST(InferenceAllocationTest, TransposeRebuildAtFixedKIsInPlace) {
+  const size_t k = 12, big_t = 30;
+  Chain c = MakeChain(k, big_t, 41);
+  hmm::InferenceWorkspace ws;
+  hmm::ForwardBackwardResult fb;
+  hmm::ViterbiResult vit;
+  hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+  hmm::Viterbi(c.pi, c.a, c.log_b, &ws, &vit);
+
+  // An M-step rewrites A; the cache must refresh without allocating.
+  prob::Rng rng(42);
+  linalg::Matrix a2 = rng.RandomStochasticMatrix(k, k, 2.0);
+  long before = g_alloc_count.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < k * k; ++i) c.a.data()[i] = a2.data()[i];
+  hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+  hmm::Viterbi(c.pi, c.a, c.log_b, &ws, &vit);
+  long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "in-place transpose rebuild made " << (after - before)
+      << " heap allocations";
+}
+
+}  // namespace
+}  // namespace dhmm
