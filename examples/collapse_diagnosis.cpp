@@ -42,9 +42,9 @@ int main() {
     core::FitDiversifiedHmm(&diverse, data, opts);
 
     std::printf("%8.2f | %10.4f %10.4f | %10.4f %10.4f\n", sigma,
-                hmm::MixtureCollapseGap(plain.a),
+                hmm::MixtureCollapseGap(plain.a).value(),
                 dpp::LogDetNormalizedKernel(plain.a),
-                hmm::MixtureCollapseGap(diverse.a),
+                hmm::MixtureCollapseGap(diverse.a).value(),
                 dpp::LogDetNormalizedKernel(diverse.a));
   }
 
@@ -58,16 +58,16 @@ int main() {
     collapsed(i, 1) = 0.5;
     collapsed(i, 2) = 0.3;
   }
-  linalg::Vector pi = hmm::StationaryDistribution(collapsed);
+  linalg::Vector pi = hmm::StationaryDistribution(collapsed).value();
   std::printf("  static mixture: entropy rate %.4f, stationary entropy %.4f "
               "(equal)\n",
-              hmm::EntropyRate(collapsed), hmm::Entropy(pi));
+              hmm::EntropyRate(collapsed).value(), hmm::Entropy(pi));
   linalg::Matrix dynamic{{0.9, 0.05, 0.05}, {0.05, 0.9, 0.05},
                          {0.05, 0.05, 0.9}};
   std::printf("  dynamic chain : entropy rate %.4f, stationary entropy %.4f "
               "(rate far lower)\n",
-              hmm::EntropyRate(dynamic),
-              hmm::Entropy(hmm::StationaryDistribution(dynamic)));
+              hmm::EntropyRate(dynamic).value(),
+              hmm::Entropy(hmm::StationaryDistribution(dynamic).value()));
   std::printf("\nReading: as sigma grows the HMM's TV gap shrinks toward the "
               "static-mixture regime while the dHMM holds it (and log det "
               "K~) up — the paper's central claim in diagnostic form.\n");

@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string path = flags.GetString("path", "/tmp/dhmm_model.txt");
+  st = flags.VerifyAllRead();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
   // 1. Train briefly.
   prob::Rng data_rng(1);

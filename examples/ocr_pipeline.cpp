@@ -47,6 +47,11 @@ int main(int argc, char** argv) {
   opts.tether_weight = flags.GetDouble("tether", 1e5);
   opts.counting.transition_pseudo_count = 0.1;
   opts.counting.initial_pseudo_count = 0.1;
+  st = flags.VerifyAllRead();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   core::SupervisedDiversifiedDiagnostics diag;
   hmm::HmmModel<prob::BinaryObs> model = core::FitSupervisedDiversified(
       train, data::kNumLetters, std::move(emission), opts, &diag);

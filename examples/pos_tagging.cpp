@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
   data::PosCorpusOptions copts;
   copts.num_sentences = static_cast<size_t>(flags.GetInt("sentences", 800));
   copts.vocab_size = static_cast<size_t>(flags.GetInt("vocab", 800));
+  st = flags.VerifyAllRead();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   copts.ambiguity = 0.10;
   copts.seed = 11;
   data::PosCorpus corpus = GeneratePosCorpus(copts);

@@ -6,27 +6,34 @@
 
 namespace dhmm::hmm {
 
-linalg::Vector StationaryDistribution(const linalg::Matrix& a, int max_iters,
-                                      double tol, double damping) {
+Result<linalg::Vector> StationaryDistribution(const linalg::Matrix& a,
+                                              int max_iters, double tol,
+                                              double damping) {
   DHMM_CHECK(a.rows() == a.cols());
   DHMM_CHECK_MSG(a.IsRowStochastic(1e-6), "A must be row-stochastic");
   const size_t k = a.rows();
   linalg::Vector pi(k, 1.0 / static_cast<double>(k));
   linalg::Vector next(k);
   for (int iter = 0; iter < max_iters; ++iter) {
-    // next = pi A, damped toward uniform.
+    // next = pi (A + I)/2, damped toward uniform. The lazy step keeps the
+    // fixed point of A while shifting every other eigenvalue inside the
+    // unit circle, so periodic chains converge instead of oscillating.
     for (size_t j = 0; j < k; ++j) {
       double s = 0.0;
       for (size_t i = 0; i < k; ++i) s += pi[i] * a(i, j);
-      next[j] = (1.0 - damping) * s + damping / static_cast<double>(k);
+      next[j] = (1.0 - damping) * 0.5 * (s + pi[j]) +
+                damping / static_cast<double>(k);
     }
     double delta = 0.0;
     for (size_t j = 0; j < k; ++j) delta += std::fabs(next[j] - pi[j]);
     pi = next;
-    if (delta < tol) break;
+    if (delta < tol) {
+      pi.NormalizeToSimplex();
+      return pi;
+    }
   }
-  pi.NormalizeToSimplex();
-  return pi;
+  return Status::NotConverged(
+      "stationary distribution power iteration did not converge");
 }
 
 double Entropy(const linalg::Vector& p) {
@@ -38,22 +45,24 @@ double Entropy(const linalg::Vector& p) {
   return h;
 }
 
-double EntropyRate(const linalg::Matrix& a) {
-  linalg::Vector pi = StationaryDistribution(a);
+Result<double> EntropyRate(const linalg::Matrix& a) {
+  Result<linalg::Vector> pi = StationaryDistribution(a);
+  if (!pi.ok()) return pi.status();
   double h = 0.0;
   for (size_t i = 0; i < a.rows(); ++i) {
-    h += pi[i] * Entropy(a.Row(i));
+    h += pi.value()[i] * Entropy(a.Row(i));
   }
   return h;
 }
 
-double MixtureCollapseGap(const linalg::Matrix& a) {
-  linalg::Vector pi = StationaryDistribution(a);
+Result<double> MixtureCollapseGap(const linalg::Matrix& a) {
+  Result<linalg::Vector> pi = StationaryDistribution(a);
+  if (!pi.ok()) return pi.status();
   double total = 0.0;
   for (size_t i = 0; i < a.rows(); ++i) {
     double tv = 0.0;
     for (size_t j = 0; j < a.cols(); ++j) {
-      tv += std::fabs(a(i, j) - pi[j]);
+      tv += std::fabs(a(i, j) - pi.value()[j]);
     }
     total += 0.5 * tv;
   }

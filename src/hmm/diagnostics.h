@@ -9,24 +9,36 @@
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "util/status.h"
 
 namespace dhmm::hmm {
 
-/// \brief Stationary distribution of a row-stochastic matrix by power
-/// iteration: the left eigenvector pi A = pi with pi on the simplex.
+/// \brief Stationary distribution of a row-stochastic matrix: the left
+/// eigenvector pi A = pi with pi on the simplex.
 ///
-/// Requires an ergodic chain to be unique; for reducible/periodic chains the
-/// iteration is damped (pi <- (1-eps) pi A + eps uniform) so it always
-/// converges to the damped chain's unique stationary point.
-linalg::Vector StationaryDistribution(const linalg::Matrix& a,
-                                      int max_iters = 10000,
-                                      double tol = 1e-12,
-                                      double damping = 1e-8);
+/// Computed by power iteration on the *lazy* chain (A + I) / 2, which has
+/// the same stationary distribution as A but no periodic behaviour, so a
+/// permutation-style chain (period > 1) converges instead of oscillating
+/// forever even with damping = 0. Damping (pi <- (1-eps) pi' + eps uniform)
+/// additionally makes reducible chains contract to a unique fixed point.
+///
+/// Exhausting `max_iters` without the L1 step delta dropping below `tol`
+/// now surfaces as Status::NotConverged instead of silently returning the
+/// last (wrong) iterate — slow-mixing chains under a tight budget are the
+/// remaining non-convergent case. The default budget is twice the
+/// pre-lazy-iteration 10000: the lazy step halves the spectral gap
+/// (lambda -> (1 + lambda) / 2), so 20000 iterations cover every chain
+/// the old default handled.
+Result<linalg::Vector> StationaryDistribution(const linalg::Matrix& a,
+                                              int max_iters = 20000,
+                                              double tol = 1e-12,
+                                              double damping = 1e-8);
 
 /// \brief Entropy rate of the chain: H = -sum_i pi_i sum_j A_ij log A_ij
 /// (nats/step). A "static mixture" collapse shows up as the entropy rate
 /// approaching the entropy of the stationary distribution itself.
-double EntropyRate(const linalg::Matrix& a);
+/// Propagates StationaryDistribution's non-convergence.
+Result<double> EntropyRate(const linalg::Matrix& a);
 
 /// \brief Entropy of a distribution (nats). 0 log 0 = 0.
 double Entropy(const linalg::Vector& p);
@@ -35,7 +47,8 @@ double Entropy(const linalg::Vector& p);
 /// the chain's stationary distribution — 0 exactly when the HMM has
 /// degenerated into a static mixture (every row equals pi), large when the
 /// current state strongly conditions the next state.
-double MixtureCollapseGap(const linalg::Matrix& a);
+/// Propagates StationaryDistribution's non-convergence.
+Result<double> MixtureCollapseGap(const linalg::Matrix& a);
 
 }  // namespace dhmm::hmm
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 
 #include "linalg/kernels.h"
 #include "prob/logsumexp.h"
@@ -47,15 +48,26 @@ const linalg::Matrix& TransitionCache::LogTranspose(const linalg::Matrix& a) {
   return log_a_t_;
 }
 
+namespace internal {
+
+std::string FrameError(const char* what, size_t t) {
+  return std::string(what) + " at frame " + std::to_string(t);
+}
+
+}  // namespace internal
+
+using internal::FrameError;
+
 namespace {
 
 // Fills ws->btilde / ws->shift with the shifted emissions for every frame:
 // btilde(t, i) = exp(log_b(t, i) - m_t) with m_t = max_i log_b(t, i), so at
 // least one entry per row is exactly 1. Computed once per sequence and shared
 // by the forward and the fused backward/xi loops (the seed code recomputed
-// the same row up to three times per frame).
-void PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
-                                InferenceWorkspace* ws) {
+// the same row up to three times per frame). Fails on a frame with zero
+// emission probability in every state.
+Status PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
+                                  InferenceWorkspace* ws) {
   const size_t big_t = log_b.rows();
   const size_t k = log_b.cols();
   ws->btilde.Resize(big_t, k);
@@ -63,27 +75,33 @@ void PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
   for (size_t t = 0; t < big_t; ++t) {
     const double m =
         klib::ExpShiftRow(log_b.row_data(t), k, ws->btilde.row_data(t));
-    DHMM_CHECK_MSG(m != prob::kNegInf,
-                   "frame has zero emission probability in every state");
+    if (m == prob::kNegInf) {
+      return Status::InvalidArgument(
+          FrameError("zero emission probability in every state", t));
+    }
     ws->shift[t] = m;
   }
+  return Status::OK();
 }
 
 // gamma(t, .) = normalized alpha_hat(t, .) * beta_hat(t, .), with the
-// division replaced by one hoisted reciprocal multiply.
-void GammaRow(const double* alpha_row, const double* beta_row, size_t k,
+// division replaced by one hoisted reciprocal multiply. False when the
+// posterior mass vanished (numerically impossible frame).
+bool GammaRow(const double* alpha_row, const double* beta_row, size_t k,
               double* gamma_row) {
   klib::MulRowInto(alpha_row, beta_row, k, gamma_row);
   const double norm = klib::SumRow(gamma_row, k);
-  DHMM_CHECK(norm > 0.0);
+  if (!(norm > 0.0)) return false;
   klib::ScaleRow(gamma_row, k, 1.0 / norm);
+  return true;
 }
 
 }  // namespace
 
-void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
-                     ForwardBackwardResult* out) {
+Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
+                          const linalg::Matrix& log_b,
+                          InferenceWorkspace* ws,
+                          ForwardBackwardResult* out) {
   const size_t k = pi.size();
   const size_t big_t = log_b.rows();
   DHMM_CHECK(ws != nullptr && out != nullptr);
@@ -95,7 +113,7 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   out->xi_sum.Resize(k, k);
   out->xi_sum.Fill(0.0);
 
-  PrecomputeShiftedEmissions(log_b, ws);
+  DHMM_RETURN_NOT_OK(PrecomputeShiftedEmissions(log_b, ws));
   ws->alpha_hat.Resize(big_t, k);
   ws->beta_hat.Resize(big_t, k);
   ws->scale.Resize(big_t);
@@ -114,7 +132,10 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   double* alpha0 = alpha_hat.row_data(0);
   klib::MulRowInto(pi.data(), btilde.row_data(0), k, alpha0);
   double c = klib::SumRow(alpha0, k);
-  DHMM_CHECK_MSG(c > 0.0, "initial frame has zero probability under pi");
+  if (!(c > 0.0)) {
+    return Status::InvalidArgument(
+        FrameError("forward message vanished", 0));
+  }
   klib::ScaleRow(alpha0, k, 1.0 / c);
   scale[0] = c;
   loglik += std::log(c) + ws->shift[0];
@@ -125,7 +146,10 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
     klib::MatVecColMul(a_t.data(), alpha_hat.row_data(t - 1),
                        btilde.row_data(t), k, k, cur);
     c = klib::SumRow(cur, k);
-    DHMM_CHECK_MSG(c > 0.0, "forward message vanished (unreachable frame)");
+    if (!(c > 0.0)) {
+      return Status::InvalidArgument(
+          FrameError("forward message vanished", t));
+    }
     klib::ScaleRow(cur, k, 1.0 / c);
     scale[t] = c;
     loglik += std::log(c) + ws->shift[t];
@@ -138,8 +162,11 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   // by both the backward row-dots and the xi row-axpys while it is hot.
   double* beta_last = beta_hat.row_data(big_t - 1);
   for (size_t i = 0; i < k; ++i) beta_last[i] = 1.0;
-  GammaRow(alpha_hat.row_data(big_t - 1), beta_last, k,
-           out->gamma.row_data(big_t - 1));
+  if (!GammaRow(alpha_hat.row_data(big_t - 1), beta_last, k,
+                out->gamma.row_data(big_t - 1))) {
+    return Status::InvalidArgument(
+        FrameError("posterior mass vanished", big_t - 1));
+  }
   double* u = ws->frame_u.data();
   for (size_t t = big_t - 1; t-- > 0;) {
     klib::MulRowScaledInto(btilde.row_data(t + 1), beta_hat.row_data(t + 1),
@@ -154,8 +181,19 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
         klib::AxpyMulRow(ai, a_row, u, k, out->xi_sum.row_data(i));
       }
     }
-    GammaRow(alpha_row, beta_row, k, out->gamma.row_data(t));
+    if (!GammaRow(alpha_row, beta_row, k, out->gamma.row_data(t))) {
+      return Status::InvalidArgument(
+          FrameError("posterior mass vanished", t));
+    }
   }
+  return Status::OK();
+}
+
+void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* out) {
+  Status st = TryForwardBackward(pi, a, log_b, ws, out);
+  DHMM_CHECK_MSG(st.ok(), st.message().c_str());
 }
 
 ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
@@ -167,11 +205,12 @@ ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
   return out;
 }
 
-double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b, InferenceWorkspace* ws) {
+Status TryLogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                        const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                        double* out) {
   const size_t k = pi.size();
   const size_t big_t = log_b.rows();
-  DHMM_CHECK(ws != nullptr);
+  DHMM_CHECK(ws != nullptr && out != nullptr);
   DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
   DHMM_CHECK(big_t > 0);
   ws->alpha.Resize(k);
@@ -185,28 +224,48 @@ double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
   // One frame of shifted emissions at a time: the forward-only pass never
   // revisits a frame, so a full T x k cache would be wasted work.
   auto shifted = [&](size_t t) {
-    const double m = klib::ExpShiftRow(log_b.row_data(t), k, btilde);
-    DHMM_CHECK_MSG(m != prob::kNegInf,
-                   "frame has zero emission probability in every state");
-    return m;
+    return klib::ExpShiftRow(log_b.row_data(t), k, btilde);
   };
 
   double loglik = 0.0;
   double m = shifted(0);
+  if (m == prob::kNegInf) {
+    return Status::InvalidArgument(
+        FrameError("zero emission probability in every state", 0));
+  }
   klib::MulRowInto(pi.data(), btilde, k, alpha);
   double c = klib::SumRow(alpha, k);
-  DHMM_CHECK(c > 0.0);
+  if (!(c > 0.0)) {
+    return Status::InvalidArgument(
+        FrameError("forward message vanished", 0));
+  }
   klib::ScaleRow(alpha, k, 1.0 / c);
   loglik += std::log(c) + m;
   for (size_t t = 1; t < big_t; ++t) {
     m = shifted(t);
+    if (m == prob::kNegInf) {
+      return Status::InvalidArgument(
+          FrameError("zero emission probability in every state", t));
+    }
     klib::MatVecColMul(a_t.data(), alpha, btilde, k, k, next);
     c = klib::SumRow(next, k);
-    DHMM_CHECK(c > 0.0);
+    if (!(c > 0.0)) {
+      return Status::InvalidArgument(
+          FrameError("forward message vanished", t));
+    }
     klib::ScaleRowInto(next, 1.0 / c, k, alpha);
     loglik += std::log(c) + m;
   }
-  return loglik;
+  *out = loglik;
+  return Status::OK();
+}
+
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws) {
+  double out = 0.0;
+  Status st = TryLogLikelihood(pi, a, log_b, ws, &out);
+  DHMM_CHECK_MSG(st.ok(), st.message().c_str());
+  return out;
 }
 
 double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
@@ -215,9 +274,9 @@ double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
   return LogLikelihood(pi, a, log_b, &ws);
 }
 
-void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
-             const linalg::Matrix& log_b, InferenceWorkspace* ws,
-             ViterbiResult* out) {
+Status TryViterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                  const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                  ViterbiResult* out) {
   const size_t k = pi.size();
   const size_t big_t = log_b.rows();
   DHMM_CHECK(ws != nullptr && out != nullptr);
@@ -260,13 +319,23 @@ void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
   out->path.resize(big_t);
   const double* last = delta.row_data(big_t - 1);
   const size_t arg = klib::ArgMaxRow(last, k);
-  DHMM_CHECK_MSG(last[arg] != prob::kNegInf,
-                 "no state path has positive probability");
+  if (last[arg] == prob::kNegInf) {
+    return Status::InvalidArgument(
+        "no state path has positive probability for the sequence");
+  }
   out->log_joint = last[arg];
   out->path[big_t - 1] = static_cast<int>(arg);
   for (size_t t = big_t - 1; t-- > 0;) {
     out->path[t] = psi[(t + 1) * k + out->path[t + 1]];
   }
+  return Status::OK();
+}
+
+void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+             const linalg::Matrix& log_b, InferenceWorkspace* ws,
+             ViterbiResult* out) {
+  Status st = TryViterbi(pi, a, log_b, ws, out);
+  DHMM_CHECK_MSG(st.ok(), st.message().c_str());
 }
 
 ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,

@@ -22,13 +22,23 @@
 #ifndef DHMM_HMM_INFERENCE_H_
 #define DHMM_HMM_INFERENCE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "util/status.h"
 
 namespace dhmm::hmm {
+
+namespace internal {
+/// Formats "<what> at frame <t>" — the shared shape of per-frame Status
+/// messages from the Try* inference forms and the streaming decoder
+/// (serve tests grep for the "frame <t>" suffix).
+std::string FrameError(const char* what, size_t t);
+}  // namespace internal
 
 /// \brief Content-keyed cache of derived views of a transition matrix.
 ///
@@ -133,6 +143,17 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
                      const linalg::Matrix& log_b, InferenceWorkspace* ws,
                      ForwardBackwardResult* out);
 
+/// \brief Non-aborting workspace form for request-facing callers (the
+/// serve layer): a sequence with zero probability under the model — an
+/// all-impossible frame, a chain-unreachable frame, or scaled-emission
+/// underflow that vanishes the forward mass — returns InvalidArgument
+/// instead of tripping a DHMM_CHECK process abort. Identical arithmetic
+/// (and bitwise-identical results) to ForwardBackward on the OK path.
+Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
+                          const linalg::Matrix& log_b,
+                          InferenceWorkspace* ws,
+                          ForwardBackwardResult* out);
+
 /// \brief log P(Y | lambda) only (forward pass).
 double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
                      const linalg::Matrix& log_b);
@@ -140,6 +161,11 @@ double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
 /// \brief Workspace form of LogLikelihood (allocation-free after warm-up).
 double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
                      const linalg::Matrix& log_b, InferenceWorkspace* ws);
+
+/// \brief Non-aborting form of LogLikelihood (see TryForwardBackward).
+Status TryLogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                        const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                        double* out);
 
 /// \brief Result of Viterbi decoding.
 struct ViterbiResult {
@@ -162,6 +188,12 @@ ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
 void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
              const linalg::Matrix& log_b, InferenceWorkspace* ws,
              ViterbiResult* out);
+
+/// \brief Non-aborting form of Viterbi: a sequence with no finite-score
+/// state path returns InvalidArgument (see TryForwardBackward).
+Status TryViterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                  const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                  ViterbiResult* out);
 
 }  // namespace dhmm::hmm
 

@@ -1,13 +1,15 @@
 #include "hmm/posterior_decoding.h"
 
 #include "linalg/kernels.h"
+#include "util/check.h"
 
 namespace dhmm::hmm {
 
-void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
-                     ForwardBackwardResult* fb, std::vector<int>* path) {
-  ForwardBackward(pi, a, log_b, ws, fb);
+Status TryPosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                          const linalg::Matrix& log_b,
+                          InferenceWorkspace* ws, ForwardBackwardResult* fb,
+                          std::vector<int>* path) {
+  DHMM_RETURN_NOT_OK(TryForwardBackward(pi, a, log_b, ws, fb));
   const size_t big_t = log_b.rows();
   const size_t k = log_b.cols();
   path->resize(big_t);
@@ -16,6 +18,14 @@ void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
     (*path)[t] =
         static_cast<int>(linalg::kernels::ArgMaxRow(fb->gamma.row_data(t), k));
   }
+  return Status::OK();
+}
+
+void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* fb, std::vector<int>* path) {
+  Status st = TryPosteriorDecode(pi, a, log_b, ws, fb, path);
+  DHMM_CHECK_MSG(st.ok(), st.message().c_str());
 }
 
 std::vector<int> PosteriorDecode(const linalg::Vector& pi,

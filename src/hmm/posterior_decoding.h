@@ -27,6 +27,14 @@ void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
                      const linalg::Matrix& log_b, InferenceWorkspace* ws,
                      ForwardBackwardResult* fb, std::vector<int>* path);
 
+/// \brief Non-aborting form for request-facing callers: an impossible
+/// sequence returns InvalidArgument (see TryForwardBackward) instead of a
+/// DHMM_CHECK process abort.
+Status TryPosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                          const linalg::Matrix& log_b,
+                          InferenceWorkspace* ws, ForwardBackwardResult* fb,
+                          std::vector<int>* path);
+
 /// \brief Posterior-decodes every sequence in a dataset.
 template <typename Obs>
 std::vector<std::vector<int>> PosteriorDecodeDataset(

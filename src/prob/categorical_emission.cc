@@ -94,6 +94,11 @@ Result<CategoricalEmission> CategoricalEmission::Load(std::istream& is) {
       }
     }
   }
+  // Validate here so a truncated/corrupt stream fails with a Status instead
+  // of tripping the constructor's DHMM_CHECK abort.
+  if (!b.IsRowStochastic(1e-6)) {
+    return Status::IOError("CategoricalEmission rows not stochastic");
+  }
   return CategoricalEmission(std::move(b), pseudo);
 }
 

@@ -1,0 +1,410 @@
+// The request-facing decode layer: a persistent, batched decoding service.
+//
+// DecodeService turns the offline inference stack (workspace-threaded
+// kernels, cached transition transposes, the PR-2 thread pool) into a
+// front end for decode-per-request traffic: callers Submit() Viterbi /
+// posterior-decode / log-likelihood requests from any thread and get a
+// future-style handle back; a dispatcher coalesces pending requests into
+// batches and fans each batch across the pool's workers, one
+// InferenceWorkspace per worker.
+//
+// Model hot-swap is RCU-style: the service holds the current model as a
+// std::shared_ptr<const HmmModel<Obs>>, every batch snapshots that pointer
+// when it is cut, and UpdateModel()/ReloadModel() only swap the pointer —
+// in-flight batches finish on the snapshot they started with while new
+// batches pick up the new model. Combined with SaveHmmToFile's atomic
+// rename, a checkpoint reload can never observe a torn file or race a
+// running decode.
+//
+// Determinism: every request is decoded by the deterministic kernel layer
+// with a per-request emission table and a content-keyed transition cache,
+// so results are bitwise-identical to the offline single-threaded
+// hmm::Viterbi / hmm::PosteriorDecode / hmm::LogLikelihood for every
+// worker count and batch size (tests/serve_test.cc pins this).
+//
+// Allocation: request slots, the pending ring, batch scratch, and all
+// per-worker workspaces are pooled and grow-only. After warm-up at a fixed
+// model size and sequence length, a Submit/Wait/Release round performs
+// zero heap allocations (instrumented-new pinned).
+#ifndef DHMM_SERVE_DECODE_SERVICE_H_
+#define DHMM_SERVE_DECODE_SERVICE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/posterior_decoding.h"
+#include "hmm/serialization.h"
+#include "util/check.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dhmm::serve {
+
+/// What a request asks of the model.
+enum class DecodeKind {
+  kViterbi,        ///< most likely state path + its log joint
+  kPosterior,      ///< per-frame posterior argmax path + data log-likelihood
+  kLogLikelihood,  ///< data log-likelihood only
+};
+
+/// \brief Completed request payload. Valid until the owning DecodeFuture is
+/// released/destroyed; copy out anything needed longer.
+struct DecodeResult {
+  Status status;             ///< non-OK for rejected requests (e.g. empty)
+  DecodeKind kind = DecodeKind::kViterbi;
+  std::vector<int> path;     ///< kViterbi / kPosterior; empty otherwise
+  double value = 0.0;        ///< log joint (Viterbi) or log-likelihood
+  uint64_t model_version = 0;  ///< which model snapshot served the request
+};
+
+/// Options for the service.
+struct ServeOptions {
+  /// Worker parallelism for batch fan-out, including the dispatcher thread;
+  /// <= 0 selects std::thread::hardware_concurrency(). Results are
+  /// identical for every value.
+  int num_threads = 1;
+  /// Most requests coalesced into one batch; 0 = unbounded. Smaller batches
+  /// lower tail latency under mixed traffic, larger batches amortize
+  /// dispatch overhead.
+  size_t max_batch = 64;
+};
+
+template <typename Obs>
+class DecodeService;
+
+namespace internal {
+
+/// One pooled request: inputs, result, and a tiny per-slot waiter. Slots
+/// are recycled through the service free list, so their result buffers
+/// (path) are grow-only across requests.
+template <typename Obs>
+struct RequestSlot {
+  DecodeKind kind = DecodeKind::kViterbi;
+  const std::vector<Obs>* obs = nullptr;  // borrowed until done
+  DecodeResult result;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;  // guarded by mu
+};
+
+}  // namespace internal
+
+/// \brief Future-style handle to one submitted request. Move-only; waits
+/// for and releases its pooled slot. Must not outlive the service.
+template <typename Obs>
+class DecodeFuture {
+ public:
+  DecodeFuture() = default;
+  DecodeFuture(DecodeFuture&& other) noexcept
+      : service_(other.service_), slot_(other.slot_) {
+    other.service_ = nullptr;
+    other.slot_ = nullptr;
+  }
+  DecodeFuture& operator=(DecodeFuture&& other) noexcept {
+    if (this != &other) {
+      Release();
+      service_ = other.service_;
+      slot_ = other.slot_;
+      other.service_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  DecodeFuture(const DecodeFuture&) = delete;
+  DecodeFuture& operator=(const DecodeFuture&) = delete;
+  ~DecodeFuture() { Release(); }
+
+  /// True until the slot has been released.
+  bool valid() const { return slot_ != nullptr; }
+
+  /// Blocks until the request completes; the reference stays valid until
+  /// Release()/destruction. Safe to call repeatedly.
+  const DecodeResult& Wait() {
+    DHMM_CHECK_MSG(slot_ != nullptr, "Wait on a released DecodeFuture");
+    std::unique_lock<std::mutex> lock(slot_->mu);
+    slot_->cv.wait(lock, [&] { return slot_->done; });
+    return slot_->result;
+  }
+
+  /// Returns the slot to the service pool (blocking until the request has
+  /// completed if it is still in flight). Idempotent.
+  void Release() {
+    if (slot_ == nullptr) return;
+    service_->ReleaseSlot(slot_);
+    service_ = nullptr;
+    slot_ = nullptr;
+  }
+
+ private:
+  friend class DecodeService<Obs>;
+  DecodeFuture(DecodeService<Obs>* service, internal::RequestSlot<Obs>* slot)
+      : service_(service), slot_(slot) {}
+
+  DecodeService<Obs>* service_ = nullptr;
+  internal::RequestSlot<Obs>* slot_ = nullptr;
+};
+
+/// \brief Thread-safe batched decoding front end with RCU model hot-swap.
+///
+/// Submit() may be called concurrently from any number of threads; the
+/// service's destructor drains every accepted request before returning.
+/// Outstanding DecodeFutures must be released before the service dies.
+template <typename Obs>
+class DecodeService {
+ public:
+  explicit DecodeService(std::shared_ptr<const hmm::HmmModel<Obs>> model,
+                         const ServeOptions& options = {})
+      : options_(options),
+        pool_(options.num_threads),
+        workers_(static_cast<size_t>(pool_.num_threads())) {
+    DHMM_CHECK_MSG(model != nullptr, "DecodeService requires a model");
+    model->Validate();
+    model_ = std::move(model);
+    // One std::function for the lifetime of the service: the only capture
+    // is `this`, so the callable stays in std::function's inline storage
+    // and batch dispatch never touches the allocator.
+    batch_fn_ = [this](int worker, size_t item) { ServeOne(worker, item); };
+    dispatcher_ = std::thread([this] { DispatchLoop(); });
+  }
+
+  ~DecodeService() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    pending_cv_.notify_all();
+    dispatcher_.join();
+    // A future that outlives the service would call back into freed
+    // memory on Release(); fail loudly here instead of corrupting later.
+    // (Under mu_ so the diagnostic itself cannot race a late Release.)
+    std::lock_guard<std::mutex> lock(mu_);
+    DHMM_CHECK_MSG(free_.size() == slots_.size(),
+                   "DecodeService destroyed with outstanding DecodeFutures");
+  }
+
+  DecodeService(const DecodeService&) = delete;
+  DecodeService& operator=(const DecodeService&) = delete;
+
+  /// \brief Enqueues one request. `obs` is borrowed — it must stay alive
+  /// and unmodified until the returned future completes.
+  DecodeFuture<Obs> Submit(DecodeKind kind, const std::vector<Obs>& obs) {
+    internal::RequestSlot<Obs>* slot = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      DHMM_CHECK_MSG(!shutdown_, "Submit on a shut-down DecodeService");
+      if (free_.empty()) {
+        slots_.push_back(std::make_unique<internal::RequestSlot<Obs>>());
+        free_.push_back(slots_.back().get());
+      }
+      slot = free_.back();
+      free_.pop_back();
+      slot->kind = kind;
+      slot->obs = &obs;
+      slot->done = false;
+      pending_.push_back(slot);
+    }
+    pending_cv_.notify_one();
+    return DecodeFuture<Obs>(this, slot);
+  }
+
+  /// A temporary would be freed while the request is still queued; the
+  /// borrow must outlive the future, so reject rvalues at compile time.
+  DecodeFuture<Obs> Submit(DecodeKind kind, std::vector<Obs>&& obs) = delete;
+
+  /// \brief RCU swap: batches already cut finish on their snapshot; later
+  /// batches (hence all requests submitted after this returns) see the new
+  /// model. Never blocks on in-flight work.
+  void UpdateModel(std::shared_ptr<const hmm::HmmModel<Obs>> model) {
+    DHMM_CHECK_MSG(model != nullptr, "UpdateModel requires a model");
+    model->Validate();
+    std::lock_guard<std::mutex> lock(mu_);
+    model_ = std::move(model);
+    ++model_version_;
+  }
+
+  /// \brief Loads a checkpoint written by SaveHmmToFile and hot-swaps it
+  /// in. On failure the current model keeps serving.
+  Status ReloadModel(const std::string& path) {
+    Result<hmm::HmmModel<Obs>> loaded = hmm::LoadHmmFromFile<Obs>(path);
+    if (!loaded.ok()) return loaded.status();
+    UpdateModel(std::make_shared<const hmm::HmmModel<Obs>>(
+        std::move(loaded).value()));
+    return Status::OK();
+  }
+
+  /// Current model snapshot (what the next batch will use).
+  std::shared_ptr<const hmm::HmmModel<Obs>> ModelSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return model_;
+  }
+
+  /// Bumped by every successful UpdateModel/ReloadModel; starts at 1.
+  uint64_t model_version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return model_version_;
+  }
+
+  /// Resolved worker parallelism.
+  int num_threads() const { return pool_.num_threads(); }
+
+  // Counters (dispatcher-written, safe to read from any thread).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_dispatched() const {
+    return batches_dispatched_.load(std::memory_order_relaxed);
+  }
+  size_t largest_batch() const {
+    return largest_batch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class DecodeFuture<Obs>;
+
+  // Per-worker scratch: one inference workspace (with its transition
+  // cache) plus result staging reused across requests.
+  struct Worker {
+    hmm::InferenceWorkspace ws;
+    hmm::ForwardBackwardResult fb;
+    hmm::ViterbiResult viterbi;
+  };
+
+  void ReleaseSlot(internal::RequestSlot<Obs>* slot) {
+    {
+      // A future may be released without ever Wait()ing; the slot cannot
+      // be recycled while a batch worker still writes into it.
+      std::unique_lock<std::mutex> lock(slot->mu);
+      slot->cv.wait(lock, [&] { return slot->done; });
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(slot);
+  }
+
+  // Moves up to max_batch pending requests into batch_ and snapshots the
+  // model for them. Caller holds mu_.
+  void CutBatchLocked() {
+    const size_t n = options_.max_batch == 0
+                         ? pending_.size()
+                         : std::min(pending_.size(), options_.max_batch);
+    batch_.clear();
+    for (size_t i = 0; i < n; ++i) batch_.push_back(pending_[i]);
+    // Erase the consumed prefix (a pointer memmove, no allocation), so
+    // pending_ is bounded by the live backlog instead of growing with
+    // every request ever submitted under sustained load.
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(n));
+    batch_model_ = model_;  // refcount bump only — the RCU snapshot
+    batch_version_ = model_version_;
+  }
+
+  void DispatchLoop() {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        pending_cv_.wait(lock,
+                         [&] { return shutdown_ || !pending_.empty(); });
+        if (pending_.empty()) return;  // shutdown, drained
+        CutBatchLocked();
+      }
+      // The dispatcher participates as worker 0, so num_threads == 1 runs
+      // the whole batch inline with no cross-thread traffic.
+      pool_.ParallelFor(batch_.size(), batch_fn_);
+      // Counters first: a Wait() that returns must already see this batch
+      // counted (done is published after, under each slot's mutex).
+      requests_served_.fetch_add(batch_.size(), std::memory_order_relaxed);
+      batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
+      if (batch_.size() > largest_batch_.load(std::memory_order_relaxed)) {
+        largest_batch_.store(batch_.size(), std::memory_order_relaxed);
+      }
+      for (internal::RequestSlot<Obs>* slot : batch_) {
+        {
+          std::lock_guard<std::mutex> lock(slot->mu);
+          slot->done = true;
+        }
+        slot->cv.notify_all();
+      }
+      batch_model_.reset();  // drop the snapshot promptly after the batch
+    }
+  }
+
+  void ServeOne(int worker, size_t item) {
+    internal::RequestSlot<Obs>* slot = batch_[item];
+    Worker& w = workers_[static_cast<size_t>(worker)];
+    const hmm::HmmModel<Obs>& m = *batch_model_;
+    DecodeResult& r = slot->result;
+    r.kind = slot->kind;
+    r.model_version = batch_version_;
+    r.path.clear();
+    r.value = 0.0;
+    if (slot->obs->empty()) {
+      r.status = Status::InvalidArgument("empty observation sequence");
+      return;
+    }
+    m.emission->LogProbTableInto(*slot->obs, &w.ws.log_b);
+    // Everything below goes through the non-aborting Try* inference forms:
+    // an impossible sequence (zero-probability frame, chain-unreachable
+    // frame, scaled-emission underflow) is a per-request InvalidArgument,
+    // never a DHMM_CHECK process abort — one bad client request must not
+    // take down a multi-tenant service.
+    switch (slot->kind) {
+      case DecodeKind::kViterbi:
+        r.status = hmm::TryViterbi(m.pi, m.a, w.ws.log_b, &w.ws, &w.viterbi);
+        if (r.status.ok()) {
+          r.path.assign(w.viterbi.path.begin(), w.viterbi.path.end());
+          r.value = w.viterbi.log_joint;
+        }
+        break;
+      case DecodeKind::kPosterior:
+        r.status = hmm::TryPosteriorDecode(m.pi, m.a, w.ws.log_b, &w.ws,
+                                           &w.fb, &r.path);
+        if (r.status.ok()) r.value = w.fb.log_likelihood;
+        break;
+      case DecodeKind::kLogLikelihood:
+        r.status =
+            hmm::TryLogLikelihood(m.pi, m.a, w.ws.log_b, &w.ws, &r.value);
+        break;
+    }
+    if (!r.status.ok()) r.path.clear();
+  }
+
+  const ServeOptions options_;
+  util::ThreadPool pool_;
+  std::vector<Worker> workers_;  // one per pool worker
+  std::function<void(int, size_t)> batch_fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable pending_cv_;
+  std::shared_ptr<const hmm::HmmModel<Obs>> model_;  // guarded by mu_
+  uint64_t model_version_ = 1;                       // guarded by mu_
+  bool shutdown_ = false;                            // guarded by mu_
+  std::vector<std::unique_ptr<internal::RequestSlot<Obs>>> slots_;  // pool
+  std::vector<internal::RequestSlot<Obs>*> free_;     // guarded by mu_
+  std::vector<internal::RequestSlot<Obs>*> pending_;  // guarded by mu_
+
+  // Dispatcher-only batch state (stable while a batch runs).
+  std::vector<internal::RequestSlot<Obs>*> batch_;
+  std::shared_ptr<const hmm::HmmModel<Obs>> batch_model_;
+  uint64_t batch_version_ = 0;
+
+  std::thread dispatcher_;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> batches_dispatched_{0};
+  std::atomic<size_t> largest_batch_{0};
+};
+
+}  // namespace dhmm::serve
+
+#endif  // DHMM_SERVE_DECODE_SERVICE_H_

@@ -1,0 +1,329 @@
+// Online sequential labeling: incremental forward recursion with fixed-lag
+// posterior smoothing.
+//
+// StreamingDecoder consumes one observation per Push() and emits the
+// smoothed posterior-argmax label for the frame `lag` steps behind the
+// stream head: label(t - lag) = argmax_i q(X_{t-lag} = i | y_0..y_t). The
+// forward pass is the same scaled recursion the offline kernels run
+// (identical kernel calls on the cached transition transpose), so the
+// running log-likelihood is bitwise-identical to offline
+// hmm::LogLikelihood on every prefix; the backward smoothing pass over the
+// lag window replays the offline fused backward ops, so with a lag that
+// covers the whole sequence the labels from Finish() are bitwise-identical
+// to offline hmm::PosteriorDecode (tests/serve_test.cc pins both).
+//
+// All window buffers are rings sized by (lag, k) and grow-only: after the
+// first Push at a given shape, pushes perform zero heap allocations.
+#ifndef DHMM_SERVE_STREAMING_DECODER_H_
+#define DHMM_SERVE_STREAMING_DECODER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "prob/logsumexp.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace dhmm::serve {
+
+/// Largest accepted smoothing lag (the ring holds lag + 1 frames).
+inline constexpr size_t kMaxLag = size_t{1} << 24;
+
+/// Options for the streaming decoder.
+struct StreamingOptions {
+  /// Smoothing lag L: the label for frame t is emitted after seeing frame
+  /// t + L. 0 emits filtered (forward-only) labels immediately; larger lags
+  /// trade latency — and compute: exact fixed-lag smoothing re-runs the
+  /// backward sweep over the window, O(L * k^2) per pushed frame — for
+  /// accuracy. A lag >= T - 1 reproduces offline posterior decoding
+  /// exactly (labels then all come from Finish(), one O(T * k^2) sweep).
+  /// Must be <= kMaxLag.
+  size_t lag = 8;
+};
+
+/// \brief Incremental fixed-lag posterior decoder over one live stream.
+///
+/// Thread-compatible: one decoder serves one stream. Reuse via Reset().
+template <typename Obs>
+class StreamingDecoder {
+ public:
+  explicit StreamingDecoder(std::shared_ptr<const hmm::HmmModel<Obs>> model,
+                            const StreamingOptions& options = {})
+      : options_(options) {
+    DHMM_CHECK_MSG(model != nullptr, "StreamingDecoder requires a model");
+    model->Validate();
+    model_ = std::move(model);
+    SizeBuffers();
+    ResetStreamState();
+  }
+
+  // Non-copyable/movable: a_t_ points into this object's transition_
+  // cache, so a relocated decoder would dangle.
+  StreamingDecoder(const StreamingDecoder&) = delete;
+  StreamingDecoder& operator=(const StreamingDecoder&) = delete;
+  StreamingDecoder(StreamingDecoder&&) = delete;
+  StreamingDecoder& operator=(StreamingDecoder&&) = delete;
+
+  /// Clears stream state (frames, likelihood, labels) but keeps the model
+  /// and the warm buffers.
+  void Reset() { ResetStreamState(); }
+
+  /// Swaps in a new model snapshot and restarts the stream — the streaming
+  /// analogue of the service's hot-swap (a chain posterior is not
+  /// well-defined across two models, so the stream restarts).
+  void Reset(std::shared_ptr<const hmm::HmmModel<Obs>> model) {
+    DHMM_CHECK_MSG(model != nullptr, "StreamingDecoder requires a model");
+    model->Validate();
+    model_ = std::move(model);
+    SizeBuffers();
+    ResetStreamState();
+  }
+
+  /// \brief Consumes one observation. Returns true when a smoothed label
+  /// became available (readable via last_label()).
+  ///
+  /// Returns false both while the label is still inside the lag window and
+  /// when the frame was rejected — check ok()/status() to distinguish. A
+  /// rejected frame (zero probability in every state, or a vanished
+  /// forward message) is not consumed, poisons only this stream, and
+  /// refuses further pushes until Reset(): one bad frame on a live stream
+  /// must never abort the serving process (matching DecodeService's
+  /// per-request error contract).
+  bool Push(const Obs& y) {
+    namespace klib = linalg::kernels;
+    DHMM_CHECK_MSG(!finished_,
+                   "Push after Finish — Reset() the decoder first");
+    if (!status_.ok()) return false;
+    const size_t k = model_->num_states();
+    const size_t w = window_;
+    const size_t t = frames_pushed_;
+    const size_t row = t % w;
+
+    // Emission table row for this frame — the same per-frame shifted table
+    // the offline workspace caches, maintained as a ring. The ring slot
+    // being overwritten holds frame t - window, which is already outside
+    // the live lag window, so a rejection below leaves the stream state
+    // untouched.
+    double* logb = logb_row_.data();
+    for (size_t i = 0; i < k; ++i) {
+      logb[i] = model_->emission->LogProb(i, y);
+    }
+    const double m = klib::ExpShiftRow(logb, k, btilde_.row_data(row));
+    if (m == prob::kNegInf) {
+      status_ = Status::InvalidArgument(
+          "observation has zero probability in every state at frame " +
+          std::to_string(t));
+      return false;
+    }
+
+    // Scaled forward step — identical kernel sequence to the offline
+    // forward pass, so scales and messages match it bitwise.
+    double* alpha = alpha_.row_data(row);
+    if (t == 0) {
+      klib::MulRowInto(model_->pi.data(), btilde_.row_data(row), k, alpha);
+    } else {
+      // a_t_ was built once when the model was set: the model is immutable
+      // for the stream's lifetime, so no per-push revalidation memcmp.
+      klib::MatVecColMul(a_t_->data(), alpha_.row_data((t - 1) % w),
+                         btilde_.row_data(row), k, k, alpha);
+    }
+    const double c = klib::SumRow(alpha, k);
+    if (!(c > 0.0)) {
+      status_ = Status::InvalidArgument(
+          FrameError("forward message vanished", t));
+      return false;
+    }
+    klib::ScaleRow(alpha, k, 1.0 / c);
+    scale_[row] = c;
+
+    if (t < options_.lag) {
+      log_likelihood_ += std::log(c) + m;
+      frames_pushed_ = t + 1;
+      return false;
+    }
+    // Smooth before committing the frame, so every rejection path leaves
+    // the stream exactly as it was (the ring rows written above belong to
+    // an already-retired frame).
+    const int label = SmoothedLabel(/*frame=*/t - options_.lag, /*newest=*/t);
+    if (label < 0) {
+      status_ = Status::InvalidArgument(
+          FrameError("posterior mass vanished", t - options_.lag));
+      return false;
+    }
+    log_likelihood_ += std::log(c) + m;
+    frames_pushed_ = t + 1;
+    last_label_ = label;
+    ++labels_emitted_;
+    return true;
+  }
+
+  /// OK until a push was rejected; then the error until Reset().
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Flushes the lag: labels for the frames still inside the window
+  /// (smoothed against the final frame) are appended to *tail in stream
+  /// order, via one backward sweep over the window (O(lag * k^2) total).
+  /// No-op on a poisoned stream; if the posterior vanishes mid-flush the
+  /// stream is poisoned and nothing is appended. The decoder must be
+  /// Reset() before further pushes.
+  void Finish(std::vector<int>* tail) {
+    DHMM_CHECK(tail != nullptr);
+    finished_ = true;  // further pushes would re-emit flushed frames
+    if (!status_.ok()) return;
+    if (frames_pushed_ == 0) return;
+    const size_t newest = frames_pushed_ - 1;
+    const size_t first = labels_emitted_;  // oldest frame not yet labeled
+    if (first > newest) return;
+    const size_t k = model_->num_states();
+    const size_t base = tail->size();
+    tail->resize(base + (newest - first + 1));
+    double* beta = beta_cur_.data();
+    double* beta_next = beta_next_.data();
+    for (size_t i = 0; i < k; ++i) beta[i] = 1.0;
+    for (size_t f = newest + 1; f-- > first;) {
+      if (f != newest) {
+        BetaStep((f + 1) % window_, beta, beta_next);
+        std::swap(beta, beta_next);
+      }
+      const int label = GammaArgmax(f, beta);
+      if (label < 0) {
+        status_ = Status::InvalidArgument(
+            FrameError("posterior mass vanished", f));
+        tail->resize(base);
+        return;
+      }
+      (*tail)[base + (f - first)] = label;
+    }
+    labels_emitted_ = newest + 1;
+  }
+
+  /// Label emitted by the most recent Push that returned true.
+  int last_label() const { return last_label_; }
+  /// Frames consumed so far.
+  size_t frames_pushed() const { return frames_pushed_; }
+  /// Labels emitted so far (Push + Finish).
+  size_t labels_emitted() const { return labels_emitted_; }
+  /// log P(y_0..y_{t-1}) — bitwise equal to offline LogLikelihood on the
+  /// same prefix.
+  double log_likelihood() const { return log_likelihood_; }
+  /// The model snapshot in use.
+  const hmm::HmmModel<Obs>& model() const { return *model_; }
+
+ private:
+  static std::string FrameError(const char* what, size_t t) {
+    return hmm::internal::FrameError(what, t);
+  }
+
+  // One backward step of the fixed-lag smoother: advances beta from the
+  // frame whose ring row is `next_row` to its predecessor, via the hoisted
+  // frame product — the exact kernel sequence of the offline fused
+  // backward pass, shared by Push-time smoothing and Finish().
+  void BetaStep(size_t next_row, const double* beta, double* beta_next) {
+    namespace klib = linalg::kernels;
+    const size_t k = model_->num_states();
+    const linalg::Matrix& a = model_->a;
+    klib::MulRowScaledInto(btilde_.row_data(next_row), beta,
+                           1.0 / scale_[next_row], k, frame_u_.data());
+    for (size_t i = 0; i < k; ++i) {
+      beta_next[i] = klib::Dot(a.row_data(i), frame_u_.data(), k);
+    }
+  }
+
+  // Gamma normalization and argmax at `frame` given its backward message —
+  // the offline GammaRow + ArgMaxRow ops. Returns -1 when the posterior
+  // mass vanished numerically (the caller poisons the stream — never a
+  // process abort, matching the Try* service paths).
+  int GammaArgmax(size_t frame, const double* beta) {
+    namespace klib = linalg::kernels;
+    const size_t k = model_->num_states();
+    double* gamma = gamma_.data();
+    klib::MulRowInto(alpha_.row_data(frame % window_), beta, k, gamma);
+    const double norm = klib::SumRow(gamma, k);
+    if (!(norm > 0.0)) return -1;
+    klib::ScaleRow(gamma, k, 1.0 / norm);
+    return static_cast<int>(klib::ArgMaxRow(gamma, k));
+  }
+
+  // Backward pass from `newest` down to `frame` over the ring (beta = 1 at
+  // the newest frame), then GammaArgmax at `frame`.
+  int SmoothedLabel(size_t frame, size_t newest) {
+    const size_t k = model_->num_states();
+    double* beta = beta_cur_.data();
+    double* beta_next = beta_next_.data();
+    for (size_t i = 0; i < k; ++i) beta[i] = 1.0;
+    for (size_t t = newest; t-- > frame;) {
+      BetaStep((t + 1) % window_, beta, beta_next);
+      std::swap(beta, beta_next);
+    }
+    return GammaArgmax(frame, beta);
+  }
+
+  void SizeBuffers() {
+    const size_t k = model_->num_states();
+    // Ring storage is (lag + 1) x k doubles: bound the lag so a config
+    // error (e.g. a negative flag cast to size_t) cannot overflow the
+    // window arithmetic or request an absurd allocation.
+    DHMM_CHECK_MSG(options_.lag <= kMaxLag,
+                   "StreamingOptions::lag is absurdly large");
+    // The model is fixed until the next Reset(model): build the transpose
+    // once here instead of revalidating the cache on every push.
+    a_t_ = &transition_.Transpose(model_->a);
+    // At least two ring rows even at lag = 0: the forward step's input
+    // alpha_{t-1} and output alpha_t must never alias (the kernels take
+    // restrict pointers).
+    window_ = std::max<size_t>(options_.lag + 1, 2);
+    btilde_.Resize(window_, k);
+    alpha_.Resize(window_, k);
+    scale_.Resize(window_);
+    logb_row_.Resize(k);
+    frame_u_.Resize(k);
+    beta_cur_.Resize(k);
+    beta_next_.Resize(k);
+    gamma_.Resize(k);
+  }
+
+  void ResetStreamState() {
+    frames_pushed_ = 0;
+    labels_emitted_ = 0;
+    last_label_ = -1;
+    log_likelihood_ = 0.0;
+    status_ = Status::OK();
+    finished_ = false;
+  }
+
+  const StreamingOptions options_;
+  std::shared_ptr<const hmm::HmmModel<Obs>> model_;
+  hmm::TransitionCache transition_;  // shared machinery with the workspaces
+  const linalg::Matrix* a_t_ = nullptr;  // A^T, rebuilt on Reset(model)
+
+  size_t window_ = 1;        // lag + 1 ring rows
+  linalg::Matrix btilde_;    // window x k shifted emissions
+  linalg::Matrix alpha_;     // window x k scaled forward messages
+  linalg::Vector scale_;     // window forward normalizers
+  linalg::Vector logb_row_;  // k scratch emission row
+  linalg::Vector frame_u_;   // k hoisted backward frame product
+  linalg::Vector beta_cur_;  // k backward message
+  linalg::Vector beta_next_;
+  linalg::Vector gamma_;     // k smoothed posterior at the emitted frame
+
+  size_t frames_pushed_ = 0;
+  size_t labels_emitted_ = 0;
+  int last_label_ = -1;
+  double log_likelihood_ = 0.0;
+  Status status_;
+  bool finished_ = false;
+};
+
+}  // namespace dhmm::serve
+
+#endif  // DHMM_SERVE_STREAMING_DECODER_H_

@@ -1,11 +1,27 @@
 #include "util/flags.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
-#include "util/check.h"
 #include "util/string_util.h"
 
 namespace dhmm {
+
+namespace {
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -27,31 +43,125 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
 std::string FlagParser::GetString(const std::string& key,
                                   const std::string& def) const {
   auto it = values_.find(key);
-  return it == values_.end() ? def : it->second;
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  return it->second;
 }
 
-int FlagParser::GetInt(const std::string& key, int def) const {
+Result<std::string> FlagParser::GetString(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return def;
+  if (it == values_.end()) {
+    return Status::NotFound("flag --" + key + " not set");
+  }
+  read_.insert(key);
+  return it->second;
+}
+
+Result<int> FlagParser::GetInt(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::NotFound("flag --" + key + " not set");
+  }
+  read_.insert(key);
+  const std::string& value = it->second;
+  if (value.empty()) {
+    return Status::InvalidArgument("--" + key + "= has an empty value");
+  }
+  errno = 0;
   char* end = nullptr;
-  long v = std::strtol(it->second.c_str(), &end, 10);
-  DHMM_CHECK_MSG(end != nullptr && *end == '\0', "flag is not an integer");
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + key + "=" + value +
+                                   " is not an integer");
+  }
+  if (errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+    return Status::InvalidArgument("--" + key + "=" + value +
+                                   " overflows int");
+  }
   return static_cast<int>(v);
 }
 
-double FlagParser::GetDouble(const std::string& key, double def) const {
+int FlagParser::GetInt(const std::string& key, int def) const {
+  if (!Has(key)) return def;
+  Result<int> r = GetInt(key);
+  if (r.ok()) return r.value();
+  std::fprintf(stderr, "warning: %s; using default %d\n",
+               r.status().message().c_str(), def);
+  return def;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return def;
+  if (it == values_.end()) {
+    return Status::NotFound("flag --" + key + " not set");
+  }
+  read_.insert(key);
+  const std::string& value = it->second;
+  if (value.empty()) {
+    return Status::InvalidArgument("--" + key + "= has an empty value");
+  }
+  errno = 0;
   char* end = nullptr;
-  double v = std::strtod(it->second.c_str(), &end);
-  DHMM_CHECK_MSG(end != nullptr && *end == '\0', "flag is not a number");
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + key + "=" + value +
+                                   " is not a number");
+  }
+  // Underflow to a (de)normal near zero is accepted; magnitude overflow is
+  // a malformed flag, not a usable value.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::InvalidArgument("--" + key + "=" + value +
+                                   " overflows double");
+  }
   return v;
 }
 
-bool FlagParser::GetBool(const std::string& key, bool def) const {
+double FlagParser::GetDouble(const std::string& key, double def) const {
+  if (!Has(key)) return def;
+  Result<double> r = GetDouble(key);
+  if (r.ok()) return r.value();
+  std::fprintf(stderr, "warning: %s; using default %g\n",
+               r.status().message().c_str(), def);
+  return def;
+}
+
+Result<bool> FlagParser::GetBool(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1";
+  if (it == values_.end()) {
+    return Status::NotFound("flag --" + key + " not set");
+  }
+  read_.insert(key);
+  const std::string v = Lowered(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("--" + key + "=" + it->second +
+                                 " is not a boolean (use true/false, 1/0, "
+                                 "yes/no, or on/off)");
+}
+
+bool FlagParser::GetBool(const std::string& key, bool def) const {
+  if (!Has(key)) return def;
+  Result<bool> r = GetBool(key);
+  if (r.ok()) return r.value();
+  std::fprintf(stderr, "warning: %s; using default %s\n",
+               r.status().message().c_str(), def ? "true" : "false");
+  return def;
+}
+
+std::vector<std::string> FlagParser::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [key, value] : values_) {
+    if (read_.count(key) == 0) unread.push_back(key);
+  }
+  return unread;
+}
+
+Status FlagParser::VerifyAllRead() const {
+  std::vector<std::string> unread = UnreadFlags();
+  if (unread.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown flag" +
+                                 std::string(unread.size() > 1 ? "s" : "") +
+                                 ": --" + StrJoin(unread, ", --"));
 }
 
 }  // namespace dhmm

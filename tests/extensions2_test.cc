@@ -109,14 +109,18 @@ TEST(DppMarginalTest, ExpectedCardinalityMatchesSampling) {
 TEST(DiagnosticsTest, StationaryOfSymmetricChainIsUniform) {
   linalg::Matrix a{{0.5, 0.3, 0.2}, {0.2, 0.5, 0.3}, {0.3, 0.2, 0.5}};
   // Doubly stochastic: stationary distribution is uniform.
-  linalg::Vector pi = hmm::StationaryDistribution(a);
+  auto r = hmm::StationaryDistribution(a);
+  ASSERT_TRUE(r.ok());
+  const linalg::Vector& pi = r.value();
   for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(pi[i], 1.0 / 3.0, 1e-8);
 }
 
 TEST(DiagnosticsTest, StationarySatisfiesFixedPoint) {
   prob::Rng rng(8);
   linalg::Matrix a = rng.RandomStochasticMatrix(6, 6, 1.2);
-  linalg::Vector pi = hmm::StationaryDistribution(a);
+  auto r = hmm::StationaryDistribution(a);
+  ASSERT_TRUE(r.ok());
+  const linalg::Vector& pi = r.value();
   // pi A = pi.
   for (size_t j = 0; j < 6; ++j) {
     double s = 0.0;
@@ -128,7 +132,9 @@ TEST(DiagnosticsTest, StationarySatisfiesFixedPoint) {
 TEST(DiagnosticsTest, StationaryMatchesEmpiricalVisitFrequencies) {
   prob::Rng rng(9);
   linalg::Matrix a{{0.9, 0.1}, {0.3, 0.7}};
-  linalg::Vector pi = hmm::StationaryDistribution(a);
+  auto r = hmm::StationaryDistribution(a);
+  ASSERT_TRUE(r.ok());
+  const linalg::Vector& pi = r.value();
   // Analytic: pi = (0.75, 0.25); the damping term biases by O(damping).
   EXPECT_NEAR(pi[0], 0.75, 1e-7);
   EXPECT_NEAR(pi[1], 0.25, 1e-7);
@@ -142,12 +148,15 @@ TEST(DiagnosticsTest, EntropyBasics) {
 TEST(DiagnosticsTest, EntropyRateBounds) {
   prob::Rng rng(10);
   linalg::Matrix a = rng.RandomStochasticMatrix(4, 4, 1.0);
-  double h = hmm::EntropyRate(a);
-  EXPECT_GE(h, 0.0);
-  EXPECT_LE(h, std::log(4.0) + 1e-12);
+  auto h = hmm::EntropyRate(a);
+  ASSERT_TRUE(h.ok());
+  EXPECT_GE(h.value(), 0.0);
+  EXPECT_LE(h.value(), std::log(4.0) + 1e-12);
   // Deterministic cycle has zero entropy rate.
   linalg::Matrix cycle{{0.0, 1.0}, {1.0, 0.0}};
-  EXPECT_NEAR(hmm::EntropyRate(cycle), 0.0, 1e-6);
+  auto hc = hmm::EntropyRate(cycle);
+  ASSERT_TRUE(hc.ok());
+  EXPECT_NEAR(hc.value(), 0.0, 1e-6);
 }
 
 TEST(DiagnosticsTest, CollapseGapZeroForStaticMixture) {
@@ -158,12 +167,16 @@ TEST(DiagnosticsTest, CollapseGapZeroForStaticMixture) {
     collapsed(i, 1) = 0.5;
     collapsed(i, 2) = 0.3;
   }
-  EXPECT_NEAR(hmm::MixtureCollapseGap(collapsed), 0.0, 1e-6);
+  auto gap = hmm::MixtureCollapseGap(collapsed);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_NEAR(gap.value(), 0.0, 1e-6);
   // A strongly state-dependent chain has a large gap.
   linalg::Matrix peaked{{0.98, 0.01, 0.01},
                         {0.01, 0.98, 0.01},
                         {0.01, 0.01, 0.98}};
-  EXPECT_GT(hmm::MixtureCollapseGap(peaked), 0.5);
+  auto peaked_gap = hmm::MixtureCollapseGap(peaked);
+  ASSERT_TRUE(peaked_gap.ok());
+  EXPECT_GT(peaked_gap.value(), 0.5);
 }
 
 // ------------------------------------------------------------ GmmEmission ---

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hmm/diagnostics.h"
 #include "hmm/inference.h"
 #include "hmm/model.h"
 #include "hmm/sampler.h"
@@ -605,6 +606,67 @@ TEST(DecodeDatasetTest, EasyEmissionsDecodePerfectly) {
     }
   }
   EXPECT_GT(static_cast<double>(correct) / total, 0.95);
+}
+
+// --------------------------------------- Diagnostics on periodic chains ---
+
+TEST(DiagnosticsPeriodicTest, PermutationChainConvergesWithoutDamping) {
+  // A 3-cycle is periodic; the naive pi <- pi A iteration oscillates at
+  // damping = 0, but the lazy-chain iteration converges to the true
+  // (uniform) stationary distribution.
+  linalg::Matrix cycle{{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}};
+  auto r = StationaryDistribution(cycle, /*max_iters=*/10000, /*tol=*/1e-12,
+                                  /*damping=*/0.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(r.value()[i], 1.0 / 3.0, 1e-9);
+}
+
+TEST(DiagnosticsPeriodicTest, BipartiteChainExactStationaryWithoutDamping) {
+  // Period-2 chain over classes {0} and {1, 2}; stationary distribution is
+  // (1/2, 1/4, 1/4). The pre-fix iteration bounced between (2/3, 1/6, 1/6)
+  // and uniform forever and silently returned whichever came last.
+  linalg::Matrix a{{0.0, 0.5, 0.5}, {1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+  auto r = StationaryDistribution(a, /*max_iters=*/10000, /*tol=*/1e-12,
+                                  /*damping=*/0.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r.value()[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.value()[1], 0.25, 1e-9);
+  EXPECT_NEAR(r.value()[2], 0.25, 1e-9);
+}
+
+TEST(DiagnosticsPeriodicTest, NonConvergenceIsSurfacedNotSilent) {
+  // A slow-mixing chain under a tiny iteration budget: the iterate is far
+  // from stationary, and the old code would have returned it anyway.
+  linalg::Matrix slow{{1.0 - 1e-9, 1e-9}, {2e-9, 1.0 - 2e-9}};
+  auto r = StationaryDistribution(slow, /*max_iters=*/50);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotConverged);
+}
+
+TEST(DiagnosticsPeriodicTest, EntropyRateOnPeriodicChain) {
+  // pi = (1/2, 1/4, 1/4); only state 0's row has entropy (log 2).
+  linalg::Matrix a{{0.0, 0.5, 0.5}, {1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+  auto h = EntropyRate(a);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_NEAR(h.value(), 0.5 * std::log(2.0), 1e-8);
+}
+
+TEST(DiagnosticsPeriodicTest, MixtureCollapseGapOnPeriodicChain) {
+  // 2-cycle: pi = (1/2, 1/2); each row is TV distance 1/2 from pi.
+  linalg::Matrix cycle{{0.0, 1.0}, {1.0, 0.0}};
+  auto gap = MixtureCollapseGap(cycle);
+  ASSERT_TRUE(gap.ok()) << gap.status().ToString();
+  EXPECT_NEAR(gap.value(), 0.5, 1e-8);
+}
+
+TEST(DiagnosticsPeriodicTest, DerivedDiagnosticsPropagateNonConvergence) {
+  // This chain mixes far too slowly for the default iteration budget, so
+  // the derived diagnostics must report the failure instead of computing
+  // off a wrong iterate.
+  linalg::Matrix slow{{1.0 - 1e-9, 1e-9}, {2e-9, 1.0 - 2e-9}};
+  EXPECT_EQ(EntropyRate(slow).status().code(), StatusCode::kNotConverged);
+  EXPECT_EQ(MixtureCollapseGap(slow).status().code(),
+            StatusCode::kNotConverged);
 }
 
 }  // namespace

@@ -124,6 +124,69 @@ TEST(SerializationRobustnessTest, TruncatedPayloadRejected) {
   }
 }
 
+TEST_F(SerializationFileTest, AtomicSaveLeavesNoTempResidue) {
+  prob::Rng rng(21);
+  hmm::HmmModel<double> m = data::ToyRandomInit(rng);
+  ASSERT_TRUE(hmm::SaveHmmToFile(m, path()).ok());
+  EXPECT_TRUE(std::filesystem::exists(path()));
+  EXPECT_FALSE(std::filesystem::exists(path() + ".tmp"));
+}
+
+TEST_F(SerializationFileTest, AtomicSaveReplacesPreviousCheckpointWholesale) {
+  // Overwriting a checkpoint goes through rename, so a reader polling the
+  // path can never observe a mix of old and new bytes.
+  prob::Rng rng(22);
+  hmm::HmmModel<int> a(
+      rng.DirichletSymmetric(3, 2.0), rng.RandomStochasticMatrix(3, 3, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          prob::CategoricalEmission::RandomInit(3, 7, rng)));
+  hmm::HmmModel<int> b(
+      rng.DirichletSymmetric(4, 2.0), rng.RandomStochasticMatrix(4, 4, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          prob::CategoricalEmission::RandomInit(4, 7, rng)));
+  ASSERT_TRUE(hmm::SaveHmmToFile(a, path()).ok());
+  ASSERT_TRUE(hmm::SaveHmmToFile(b, path()).ok());
+  auto r = hmm::LoadHmmFromFile<int>(path());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_states(), 4u);
+  EXPECT_TRUE(r.value().a == b.a);
+  EXPECT_FALSE(std::filesystem::exists(path() + ".tmp"));
+}
+
+TEST(SerializationRobustnessTest, SaveToUnwritableDirIsIOError) {
+  prob::Rng rng(23);
+  hmm::HmmModel<double> m = data::ToyRandomInit(rng);
+  Status st = hmm::SaveHmmToFile(m, "/nonexistent/dir/model.txt");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(SerializationRobustnessTest, TruncatedStreamAtEveryPrefixFailsCleanly) {
+  // A torn checkpoint (the failure the atomic save prevents at the file
+  // level) must be rejected with a Status at *every* prefix length — never
+  // accepted as a corrupt model and never a process abort. Emission values
+  // are chosen so even digit-level truncation of the final token breaks
+  // row-stochasticity.
+  prob::Rng rng(24);
+  hmm::HmmModel<int> m(
+      rng.DirichletSymmetric(2, 2.0), rng.RandomStochasticMatrix(2, 2, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          linalg::Matrix{{0.25, 0.75}, {0.75, 0.25}}));
+  std::stringstream full;
+  ASSERT_TRUE(hmm::SaveHmm(m, full).ok());
+  const std::string text = full.str();
+  // Cutting inside trailing whitespace leaves every token intact, so only
+  // prefixes strictly shorter than the last token's end must fail.
+  const size_t last_token_end = text.find_last_not_of(" \n") + 1;
+  for (size_t cut = 1; cut < last_token_end; ++cut) {
+    std::stringstream truncated(text.substr(0, cut));
+    auto r = hmm::LoadHmm<int>(truncated);
+    EXPECT_FALSE(r.ok()) << "prefix of length " << cut << " loaded";
+  }
+  std::stringstream intact(text);
+  EXPECT_TRUE(hmm::LoadHmm<int>(intact).ok());
+}
+
 TEST(SerializationRobustnessTest, NegativeProbabilityRejected) {
   // Hand-craft a payload with a negative emission probability.
   std::stringstream ss(

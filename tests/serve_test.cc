@@ -1,0 +1,562 @@
+// The serve-layer contract (the PR-5 counterpart of engine/mstep/kernels
+// tests):
+//  - DecodeService results are bitwise-identical to the offline
+//    single-threaded Viterbi / PosteriorDecode / LogLikelihood for every
+//    worker count and batch size,
+//  - RCU model hot-swap: in-flight batches finish on their snapshot, new
+//    requests see the new model; ReloadModel round-trips SaveHmmToFile
+//    checkpoints and keeps serving the old model on failure,
+//  - steady-state requests at a fixed shape make zero heap allocations
+//    (instrumented operator new),
+//  - StreamingDecoder's running log-likelihood matches offline
+//    LogLikelihood bitwise on every prefix, and with a full-sequence lag
+//    its labels match offline PosteriorDecode exactly; pushes are
+//    allocation-free after warm-up.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/posterior_decoding.h"
+#include "hmm/sampler.h"
+#include "hmm/sequence.h"
+#include "hmm/serialization.h"
+#include "prob/categorical_emission.h"
+#include "prob/gaussian_emission.h"
+#include "prob/rng.h"
+#include "serve/decode_service.h"
+#include "serve/streaming_decoder.h"
+
+// ----------------------------------------------------- allocation counter ---
+
+// Global operator new instrumentation: every heap allocation made anywhere
+// in this binary bumps the counter, so a zero delta across a call proves
+// the call is allocation-free (see kernels_test.cc for the same pattern).
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dhmm {
+namespace {
+
+std::shared_ptr<const hmm::HmmModel<double>> MakeModel(size_t k,
+                                                       uint64_t seed) {
+  prob::Rng rng(seed);
+  linalg::Vector mu(k);
+  linalg::Vector sigma(k, 0.8);
+  for (size_t i = 0; i < k; ++i) mu[i] = static_cast<double>(i);
+  return std::make_shared<const hmm::HmmModel<double>>(
+      rng.DirichletSymmetric(k, 2.0), rng.RandomStochasticMatrix(k, k, 2.0),
+      std::make_unique<prob::GaussianEmission>(mu, sigma));
+}
+
+hmm::Dataset<double> MakeData(const hmm::HmmModel<double>& model,
+                              size_t count, size_t length, uint64_t seed) {
+  prob::Rng rng(seed);
+  return hmm::SampleDataset(model, count, length, rng);
+}
+
+// Offline single-threaded reference for one sequence under one model.
+struct OfflineRef {
+  hmm::ViterbiResult viterbi;
+  std::vector<int> posterior;
+  double log_likelihood;
+};
+
+OfflineRef Offline(const hmm::HmmModel<double>& m,
+                   const std::vector<double>& obs) {
+  OfflineRef ref;
+  linalg::Matrix log_b = m.emission->LogProbTable(obs);
+  ref.viterbi = hmm::Viterbi(m.pi, m.a, log_b);
+  ref.posterior = hmm::PosteriorDecode(m.pi, m.a, log_b);
+  ref.log_likelihood = hmm::LogLikelihood(m.pi, m.a, log_b);
+  return ref;
+}
+
+// ----------------------------------------------------------- DecodeService ---
+
+TEST(DecodeServiceTest, BitwiseMatchesOfflineForEveryWorkerAndBatchSize) {
+  auto model = MakeModel(4, 11);
+  hmm::Dataset<double> data = MakeData(*model, 12, 17, 12);
+  std::vector<OfflineRef> refs;
+  for (const auto& seq : data) refs.push_back(Offline(*model, seq.obs));
+
+  for (int threads : {1, 2, 4}) {
+    for (size_t max_batch : {size_t{1}, size_t{3}, size_t{64}}) {
+      serve::ServeOptions opts;
+      opts.num_threads = threads;
+      opts.max_batch = max_batch;
+      serve::DecodeService<double> service(model, opts);
+      std::vector<serve::DecodeFuture<double>> futures;
+      for (const auto& seq : data) {
+        futures.push_back(
+            service.Submit(serve::DecodeKind::kViterbi, seq.obs));
+        futures.push_back(
+            service.Submit(serve::DecodeKind::kPosterior, seq.obs));
+        futures.push_back(
+            service.Submit(serve::DecodeKind::kLogLikelihood, seq.obs));
+      }
+      for (size_t s = 0; s < data.size(); ++s) {
+        const serve::DecodeResult& vit = futures[3 * s].Wait();
+        ASSERT_TRUE(vit.status.ok());
+        EXPECT_EQ(vit.path, refs[s].viterbi.path);
+        EXPECT_EQ(vit.value, refs[s].viterbi.log_joint);  // bitwise
+
+        const serve::DecodeResult& post = futures[3 * s + 1].Wait();
+        ASSERT_TRUE(post.status.ok());
+        EXPECT_EQ(post.path, refs[s].posterior);
+        EXPECT_EQ(post.value, refs[s].log_likelihood);
+
+        const serve::DecodeResult& ll = futures[3 * s + 2].Wait();
+        ASSERT_TRUE(ll.status.ok());
+        EXPECT_TRUE(ll.path.empty());
+        EXPECT_EQ(ll.value, refs[s].log_likelihood);
+      }
+      futures.clear();  // release slots before the service dies
+      EXPECT_EQ(service.requests_served(), 3 * data.size());
+      EXPECT_LE(service.largest_batch(), max_batch);
+    }
+  }
+}
+
+TEST(DecodeServiceTest, HotSwapOldSnapshotFinishesNewRequestsSeeNewModel) {
+  auto model_a = MakeModel(4, 21);
+  auto model_b = MakeModel(4, 22);
+  hmm::Dataset<double> data = MakeData(*model_a, 8, 15, 23);
+
+  serve::ServeOptions opts;
+  opts.num_threads = 4;
+  opts.max_batch = 2;
+  serve::DecodeService<double> service(model_a, opts);
+  EXPECT_EQ(service.model_version(), 1u);
+
+  // Round 1 under A: wait for every result before swapping, so the old
+  // snapshot demonstrably finishes all its work.
+  {
+    std::vector<serve::DecodeFuture<double>> futures;
+    for (const auto& seq : data) {
+      futures.push_back(service.Submit(serve::DecodeKind::kViterbi, seq.obs));
+    }
+    for (size_t s = 0; s < data.size(); ++s) {
+      const serve::DecodeResult& r = futures[s].Wait();
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(r.model_version, 1u);
+      EXPECT_EQ(r.path, Offline(*model_a, data[s].obs).viterbi.path);
+    }
+  }
+
+  service.UpdateModel(model_b);
+  EXPECT_EQ(service.model_version(), 2u);
+
+  // Round 2: everything submitted after the swap is served by B.
+  {
+    std::vector<serve::DecodeFuture<double>> futures;
+    for (const auto& seq : data) {
+      futures.push_back(service.Submit(serve::DecodeKind::kViterbi, seq.obs));
+    }
+    for (size_t s = 0; s < data.size(); ++s) {
+      const serve::DecodeResult& r = futures[s].Wait();
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(r.model_version, 2u);
+      const OfflineRef ref = Offline(*model_b, data[s].obs);
+      EXPECT_EQ(r.path, ref.viterbi.path);
+      EXPECT_EQ(r.value, ref.viterbi.log_joint);
+    }
+  }
+}
+
+TEST(DecodeServiceTest, MidStreamSwapServesEveryRequestConsistently) {
+  // Submissions race the swap: each result must be internally consistent —
+  // decoded entirely under the single model version it reports, bitwise.
+  auto model_a = MakeModel(3, 31);
+  auto model_b = MakeModel(3, 32);
+  hmm::Dataset<double> data = MakeData(*model_a, 24, 12, 33);
+
+  serve::ServeOptions opts;
+  opts.num_threads = 2;
+  opts.max_batch = 4;
+  serve::DecodeService<double> service(model_a, opts);
+  std::vector<serve::DecodeFuture<double>> futures;
+  for (size_t s = 0; s < data.size(); ++s) {
+    if (s == data.size() / 2) service.UpdateModel(model_b);
+    futures.push_back(service.Submit(serve::DecodeKind::kViterbi, data[s].obs));
+  }
+  size_t new_version_seen = 0;
+  for (size_t s = 0; s < data.size(); ++s) {
+    const serve::DecodeResult& r = futures[s].Wait();
+    ASSERT_TRUE(r.status.ok());
+    ASSERT_TRUE(r.model_version == 1 || r.model_version == 2);
+    const hmm::HmmModel<double>& m =
+        r.model_version == 1 ? *model_a : *model_b;
+    EXPECT_EQ(r.path, Offline(m, data[s].obs).viterbi.path);
+    // A request submitted after UpdateModel returned can only see B.
+    if (s >= data.size() / 2) {
+      EXPECT_EQ(r.model_version, 2u);
+      ++new_version_seen;
+    }
+  }
+  EXPECT_EQ(new_version_seen, data.size() - data.size() / 2);
+}
+
+TEST(DecodeServiceTest, ReloadModelHotSwapsCheckpointAtomically) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "dhmm_serve_reload.txt").string();
+  auto model_a = MakeModel(4, 41);
+  auto model_b = MakeModel(4, 42);
+  hmm::Dataset<double> data = MakeData(*model_a, 4, 10, 43);
+
+  serve::DecodeService<double> service(model_a, {});
+  // Failure keeps the old model serving.
+  Status st = service.ReloadModel("/nonexistent/dir/model.txt");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(service.model_version(), 1u);
+
+  ASSERT_TRUE(hmm::SaveHmmToFile(*model_b, path).ok());
+  ASSERT_TRUE(service.ReloadModel(path).ok());
+  EXPECT_EQ(service.model_version(), 2u);
+  for (const auto& seq : data) {
+    serve::DecodeFuture<double> f =
+        service.Submit(serve::DecodeKind::kViterbi, seq.obs);
+    const serve::DecodeResult& r = f.Wait();
+    ASSERT_TRUE(r.status.ok());
+    // The checkpoint round-trips at 17-digit precision, so the reloaded
+    // model decodes bitwise-identically to the in-memory original.
+    const OfflineRef ref = Offline(*model_b, seq.obs);
+    EXPECT_EQ(r.path, ref.viterbi.path);
+    EXPECT_EQ(r.value, ref.viterbi.log_joint);
+  }
+  fs::remove(path);
+}
+
+TEST(DecodeServiceTest, EmptySequenceRejectedWithoutPoisoningService) {
+  auto model = MakeModel(3, 51);
+  hmm::Dataset<double> data = MakeData(*model, 1, 8, 52);
+  serve::DecodeService<double> service(model, {});
+  std::vector<double> empty;
+  serve::DecodeFuture<double> bad =
+      service.Submit(serve::DecodeKind::kViterbi, empty);
+  const serve::DecodeResult& r = bad.Wait();
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  bad.Release();
+  // The service keeps serving.
+  serve::DecodeFuture<double> good =
+      service.Submit(serve::DecodeKind::kViterbi, data[0].obs);
+  EXPECT_TRUE(good.Wait().status.ok());
+}
+
+TEST(DecodeServiceTest, ImpossibleObservationRejectedPerRequest) {
+  // Symbol 2 has zero mass in every state: deeper inference layers treat
+  // an all-impossible frame as a DHMM_CHECK (process abort); the service
+  // must turn it into a per-request error instead.
+  auto model = std::make_shared<const hmm::HmmModel<int>>(
+      linalg::Vector{0.5, 0.5}, linalg::Matrix{{0.5, 0.5}, {0.5, 0.5}},
+      std::make_unique<prob::CategoricalEmission>(
+          linalg::Matrix{{0.5, 0.5, 0.0}, {0.25, 0.75, 0.0}}));
+  serve::DecodeService<int> service(model, {});
+  const std::vector<int> poisoned = {0, 2, 1};
+  const std::vector<int> fine = {0, 1, 1};
+  for (auto kind : {serve::DecodeKind::kViterbi, serve::DecodeKind::kPosterior,
+                    serve::DecodeKind::kLogLikelihood}) {
+    serve::DecodeFuture<int> bad = service.Submit(kind, poisoned);
+    const serve::DecodeResult& r = bad.Wait();
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+    if (kind != serve::DecodeKind::kViterbi) {
+      // The forward-based paths report the offending frame; Viterbi only
+      // knows the whole sequence has no finite path.
+      EXPECT_NE(r.status.message().find("frame 1"), std::string::npos);
+    }
+    bad.Release();
+    serve::DecodeFuture<int> good = service.Submit(kind, fine);
+    EXPECT_TRUE(good.Wait().status.ok());
+  }
+}
+
+TEST(DecodeServiceTest, UnreachableSequenceRejectedPerRequest) {
+  // Every frame is emission-possible in isolation, but pi/A zeros make the
+  // sequence unreachable: pi pins the chain in state 0 forever while the
+  // observation demands state 1. The naked inference layer would abort on
+  // the vanished forward message; the service must reject per-request.
+  auto model = std::make_shared<const hmm::HmmModel<int>>(
+      linalg::Vector{1.0, 0.0}, linalg::Matrix{{1.0, 0.0}, {0.0, 1.0}},
+      std::make_unique<prob::CategoricalEmission>(
+          linalg::Matrix{{1.0, 0.0}, {0.0, 1.0}}));
+  serve::DecodeService<int> service(model, {});
+  const std::vector<int> unreachable_at_0 = {1};
+  const std::vector<int> unreachable_at_2 = {0, 0, 1};
+  const std::vector<int> fine = {0, 0, 0};
+  for (auto kind : {serve::DecodeKind::kViterbi, serve::DecodeKind::kPosterior,
+                    serve::DecodeKind::kLogLikelihood}) {
+    const bool reports_frame = kind != serve::DecodeKind::kViterbi;
+    serve::DecodeFuture<int> f0 = service.Submit(kind, unreachable_at_0);
+    const serve::DecodeResult& r0 = f0.Wait();
+    ASSERT_FALSE(r0.status.ok());
+    EXPECT_EQ(r0.status.code(), StatusCode::kInvalidArgument);
+    if (reports_frame) {
+      EXPECT_NE(r0.status.message().find("frame 0"), std::string::npos);
+    }
+    f0.Release();
+    serve::DecodeFuture<int> f2 = service.Submit(kind, unreachable_at_2);
+    const serve::DecodeResult& r2 = f2.Wait();
+    ASSERT_FALSE(r2.status.ok());
+    if (reports_frame) {
+      EXPECT_NE(r2.status.message().find("frame 2"), std::string::npos);
+    }
+    f2.Release();
+    serve::DecodeFuture<int> ok = service.Submit(kind, fine);
+    EXPECT_TRUE(ok.Wait().status.ok());
+  }
+}
+
+TEST(DecodeServiceTest, UnderflowedForwardMassRejectedNotAborted) {
+  // Every frame is symbolically possible (finite log-prob in a reachable
+  // state), but the emission shift is dominated by an unreachable state
+  // ~5000 nats more likely, so the reachable state's scaled emission
+  // underflows exp() to exactly 0 and the forward mass vanishes
+  // numerically. This must surface as a per-request error too.
+  linalg::Vector mu(2);
+  mu[0] = 0.0;
+  mu[1] = 100.0;
+  auto model = std::make_shared<const hmm::HmmModel<double>>(
+      linalg::Vector{1.0, 0.0}, linalg::Matrix{{1.0, 0.0}, {0.0, 1.0}},
+      std::make_unique<prob::GaussianEmission>(mu, linalg::Vector(2, 1.0)));
+  serve::DecodeService<double> service(model, {});
+  const std::vector<double> outlier = {100.0};
+  for (auto kind :
+       {serve::DecodeKind::kPosterior, serve::DecodeKind::kLogLikelihood}) {
+    serve::DecodeFuture<double> f = service.Submit(kind, outlier);
+    const serve::DecodeResult& r = f.Wait();
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+    f.Release();
+  }
+  // Viterbi runs in the log domain, immune to the underflow: it decodes
+  // the (astronomically unlikely) reachable path.
+  serve::DecodeFuture<double> v =
+      service.Submit(serve::DecodeKind::kViterbi, outlier);
+  EXPECT_TRUE(v.Wait().status.ok());
+}
+
+TEST(DecodeServiceTest, SteadyStateRequestsAreAllocationFree) {
+  auto model = MakeModel(8, 61);
+  hmm::Dataset<double> data = MakeData(*model, 16, 24, 62);
+  serve::ServeOptions opts;
+  opts.num_threads = 1;  // deterministic single-workspace path
+  opts.max_batch = 8;
+  serve::DecodeService<double> service(model, opts);
+
+  const serve::DecodeKind kinds[] = {serve::DecodeKind::kViterbi,
+                                     serve::DecodeKind::kPosterior,
+                                     serve::DecodeKind::kLogLikelihood};
+  // Warm-up: hold all futures so the slot pool grows to the full in-flight
+  // census, every slot's path buffer sees this sequence length (round 0 is
+  // all-Viterbi so no slot is left with a cold path), and the workspace +
+  // transition cache reach steady state.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<serve::DecodeFuture<double>> futures;
+    futures.reserve(data.size());
+    for (size_t s = 0; s < data.size(); ++s) {
+      futures.push_back(service.Submit(
+          round == 0 ? serve::DecodeKind::kViterbi : kinds[s % 3],
+          data[s].obs));
+    }
+    for (auto& f : futures) f.Wait();
+  }
+
+  std::vector<serve::DecodeFuture<double>> futures;
+  futures.reserve(data.size());
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  for (size_t s = 0; s < data.size(); ++s) {
+    futures.push_back(service.Submit(kinds[s % 3], data[s].obs));
+  }
+  double sink = 0.0;
+  for (auto& f : futures) sink += f.Wait().value;
+  for (auto& f : futures) f.Release();
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "steady-state requests allocated";
+  EXPECT_NE(sink, 0.0);
+}
+
+// -------------------------------------------------------- StreamingDecoder ---
+
+TEST(StreamingDecoderTest, PrefixLogLikelihoodMatchesOfflineBitwise) {
+  auto model = MakeModel(5, 71);
+  hmm::Dataset<double> data = MakeData(*model, 1, 20, 72);
+  const std::vector<double>& obs = data[0].obs;
+
+  serve::StreamingOptions opts;
+  opts.lag = 3;
+  serve::StreamingDecoder<double> dec(model, opts);
+  for (size_t t = 0; t < obs.size(); ++t) {
+    dec.Push(obs[t]);
+    std::vector<double> prefix(obs.begin(), obs.begin() + t + 1);
+    linalg::Matrix log_b = model->emission->LogProbTable(prefix);
+    EXPECT_EQ(dec.log_likelihood(),
+              hmm::LogLikelihood(model->pi, model->a, log_b))
+        << "prefix length " << t + 1;
+  }
+}
+
+TEST(StreamingDecoderTest, FullLagFinishMatchesOfflinePosteriorDecode) {
+  auto model = MakeModel(4, 81);
+  for (size_t len : {1, 2, 7, 16}) {
+    hmm::Dataset<double> data = MakeData(*model, 1, len, 82 + len);
+    const std::vector<double>& obs = data[0].obs;
+    serve::StreamingOptions opts;
+    opts.lag = obs.size();  // > T - 1: nothing emitted until Finish
+    serve::StreamingDecoder<double> dec(model, opts);
+    for (double y : obs) EXPECT_FALSE(dec.Push(y));
+    std::vector<int> labels;
+    dec.Finish(&labels);
+    linalg::Matrix log_b = model->emission->LogProbTable(obs);
+    EXPECT_EQ(labels, hmm::PosteriorDecode(model->pi, model->a, log_b))
+        << "length " << len;
+  }
+}
+
+TEST(StreamingDecoderTest, FixedLagEmitsOnTimeAndFinishFlushesTheRest) {
+  auto model = MakeModel(4, 91);
+  hmm::Dataset<double> data = MakeData(*model, 1, 12, 92);
+  const std::vector<double>& obs = data[0].obs;
+  serve::StreamingOptions opts;
+  opts.lag = 4;
+  serve::StreamingDecoder<double> dec(model, opts);
+  std::vector<int> labels;
+  for (size_t t = 0; t < obs.size(); ++t) {
+    const bool emitted = dec.Push(obs[t]);
+    EXPECT_EQ(emitted, t >= opts.lag);
+    if (emitted) labels.push_back(dec.last_label());
+  }
+  EXPECT_EQ(labels.size(), obs.size() - opts.lag);
+  dec.Finish(&labels);
+  ASSERT_EQ(labels.size(), obs.size());
+  // The final `lag` frames are smoothed against the true end of the
+  // sequence, so they agree exactly with offline posterior decoding.
+  linalg::Matrix log_b = model->emission->LogProbTable(obs);
+  std::vector<int> offline = hmm::PosteriorDecode(model->pi, model->a, log_b);
+  for (size_t t = obs.size() - opts.lag; t < obs.size(); ++t) {
+    EXPECT_EQ(labels[t], offline[t]) << "frame " << t;
+  }
+  for (int label : labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(StreamingDecoderTest, ZeroLagIsFilteringAndEmitsImmediately) {
+  // lag = 0 is the aliasing-prone shape (one live frame in the ring): the
+  // forward recursion must still match offline bitwise at every prefix.
+  auto model = MakeModel(3, 101);
+  hmm::Dataset<double> data = MakeData(*model, 1, 6, 102);
+  const std::vector<double>& obs = data[0].obs;
+  serve::StreamingOptions opts;
+  opts.lag = 0;
+  serve::StreamingDecoder<double> dec(model, opts);
+  for (size_t t = 0; t < obs.size(); ++t) {
+    EXPECT_TRUE(dec.Push(obs[t]));
+    std::vector<double> prefix(obs.begin(), obs.begin() + t + 1);
+    linalg::Matrix log_b = model->emission->LogProbTable(prefix);
+    EXPECT_EQ(dec.log_likelihood(),
+              hmm::LogLikelihood(model->pi, model->a, log_b))
+        << "prefix length " << t + 1;
+  }
+  EXPECT_EQ(dec.labels_emitted(), obs.size());
+  // The final filtered label coincides with offline posterior decoding's
+  // final frame (beta = 1 there in both).
+  linalg::Matrix log_b = model->emission->LogProbTable(obs);
+  std::vector<int> offline = hmm::PosteriorDecode(model->pi, model->a, log_b);
+  EXPECT_EQ(dec.last_label(), offline.back());
+}
+
+TEST(StreamingDecoderTest, PushIsAllocationFreeAfterWarmup) {
+  auto model = MakeModel(6, 111);
+  hmm::Dataset<double> data = MakeData(*model, 1, 64, 112);
+  serve::StreamingOptions opts;
+  opts.lag = 8;
+  serve::StreamingDecoder<double> dec(model, opts);
+  // Two warm pushes: the cached transition transpose is first built by the
+  // t = 1 forward step.
+  dec.Push(data[0].obs[0]);
+  dec.Push(data[0].obs[1]);
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  for (size_t t = 2; t < data[0].obs.size(); ++t) dec.Push(data[0].obs[t]);
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "streaming pushes allocated";
+}
+
+TEST(StreamingDecoderTest, ImpossibleObservationPoisonsStreamNotProcess) {
+  // Same contract as the batched service: a zero-probability frame is a
+  // stream-level error, never a process abort. The bad frame is not
+  // consumed, further pushes are refused, and Reset() recovers.
+  auto model = std::make_shared<const hmm::HmmModel<int>>(
+      linalg::Vector{0.5, 0.5}, linalg::Matrix{{0.5, 0.5}, {0.5, 0.5}},
+      std::make_unique<prob::CategoricalEmission>(
+          linalg::Matrix{{0.5, 0.5, 0.0}, {0.25, 0.75, 0.0}}));
+  serve::StreamingOptions opts;
+  opts.lag = 0;
+  serve::StreamingDecoder<int> dec(model, opts);
+  EXPECT_TRUE(dec.Push(0));
+  ASSERT_TRUE(dec.ok());
+  EXPECT_FALSE(dec.Push(2));  // symbol 2: zero mass in every state
+  ASSERT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dec.frames_pushed(), 1u);  // the bad frame was not consumed
+  EXPECT_FALSE(dec.Push(1));  // poisoned until Reset
+  std::vector<int> tail;
+  dec.Finish(&tail);
+  EXPECT_TRUE(tail.empty());
+  dec.Reset();
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.Push(1));
+}
+
+TEST(StreamingDecoderTest, ResetSwapsModelAndRestartsTheStream) {
+  auto model_a = MakeModel(4, 121);
+  auto model_b = MakeModel(4, 122);
+  hmm::Dataset<double> data = MakeData(*model_a, 1, 10, 123);
+  const std::vector<double>& obs = data[0].obs;
+
+  serve::StreamingOptions opts;
+  opts.lag = 2;
+  serve::StreamingDecoder<double> dec(model_a, opts);
+  for (double y : obs) dec.Push(y);
+  dec.Reset(model_b);
+  EXPECT_EQ(dec.frames_pushed(), 0u);
+  EXPECT_EQ(dec.log_likelihood(), 0.0);
+  for (double y : obs) dec.Push(y);
+  linalg::Matrix log_b = model_b->emission->LogProbTable(obs);
+  EXPECT_EQ(dec.log_likelihood(),
+            hmm::LogLikelihood(model_b->pi, model_b->a, log_b));
+}
+
+}  // namespace
+}  // namespace dhmm

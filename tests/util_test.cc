@@ -185,13 +185,31 @@ TEST(FlagsTest, EmptyValueIsPresentButEmpty) {
 }
 
 TEST(FlagsTest, BoolValueVariants) {
-  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=0", "--d=yes"};
+  // Case-insensitive true/false, 1/0, yes/no, on/off all parse strictly;
+  // `--d=yes` and `--e=TRUE` used to silently map to false.
+  const char* argv[] = {"prog",   "--a=true", "--b=1",  "--c=0",
+                        "--d=yes", "--e=TRUE", "--f=No", "--g=off"};
   FlagParser p;
-  ASSERT_TRUE(p.Parse(5, argv).ok());
+  ASSERT_TRUE(p.Parse(8, argv).ok());
   EXPECT_TRUE(p.GetBool("a", false));
   EXPECT_TRUE(p.GetBool("b", false));
   EXPECT_FALSE(p.GetBool("c", true));
-  EXPECT_FALSE(p.GetBool("d", true));  // only "true"/"1" are truthy
+  EXPECT_TRUE(p.GetBool("d", false));
+  EXPECT_TRUE(p.GetBool("e", false));
+  EXPECT_FALSE(p.GetBool("f", true));
+  EXPECT_FALSE(p.GetBool("g", true));
+}
+
+TEST(FlagsTest, UnknownBoolSpellingIsErrorNotFalse) {
+  const char* argv[] = {"prog", "--flag=maybe"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(2, argv).ok());
+  Result<bool> r = p.GetBool("flag");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Defaulted getter falls back instead of aborting or guessing.
+  EXPECT_TRUE(p.GetBool("flag", true));
+  EXPECT_FALSE(p.GetBool("flag", false));
 }
 
 TEST(FlagsTest, PositionalErrorNamesOffendingToken) {
@@ -203,12 +221,69 @@ TEST(FlagsTest, PositionalErrorNamesOffendingToken) {
   EXPECT_NE(st.message().find("oops"), std::string::npos);
 }
 
-TEST(FlagsDeathTest, UnparseableNumberAborts) {
+TEST(FlagsTest, MalformedNumberFallsBackToDefault) {
+  // These used to DHMM_CHECK-abort the whole process.
   const char* argv[] = {"prog", "--n=abc", "--x=1.5zzz"};
   FlagParser p;
   ASSERT_TRUE(p.Parse(3, argv).ok());
-  EXPECT_DEATH(p.GetInt("n", 0), "not an integer");
-  EXPECT_DEATH(p.GetDouble("x", 0.0), "not a number");
+  EXPECT_EQ(p.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagsTest, StrictGettersSurfaceMalformedValues) {
+  const char* argv[] = {"prog", "--n=abc", "--x=1.5zzz", "--ok=42"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(4, argv).ok());
+  EXPECT_EQ(p.GetInt("n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetDouble("x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetInt("absent").status().code(), StatusCode::kNotFound);
+  Result<int> ok = p.GetInt("ok");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+}
+
+TEST(FlagsTest, EmptyNumericValueIsErrorNotZero) {
+  // `--n=` used to land strtol's end pointer on the terminating NUL and
+  // silently parse as 0 / 0.0.
+  const char* argv[] = {"prog", "--n=", "--x="};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(3, argv).ok());
+  EXPECT_EQ(p.GetInt("n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetDouble("x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 1.25), 1.25);
+}
+
+TEST(FlagsTest, NumericOverflowRejected) {
+  const char* argv[] = {"prog", "--n=99999999999999999999", "--m=-5000000000",
+                        "--x=1e400", "--tiny=1e-320"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(5, argv).ok());
+  EXPECT_EQ(p.GetInt("n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetInt("m").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetDouble("x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetInt("n", 3), 3);
+  // Gradual underflow still yields a usable (denormal) value.
+  Result<double> tiny = p.GetDouble("tiny");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_GT(tiny.value(), 0.0);
+}
+
+TEST(FlagsTest, UnreadFlagsReported) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--alpah=2.0", "--verbose"};
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(4, argv).ok());
+  EXPECT_DOUBLE_EQ(p.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  std::vector<std::string> unread = p.UnreadFlags();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "alpah");  // the typo surfaces
+  Status st = p.VerifyAllRead();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("alpah"), std::string::npos);
+  // Reading it (even via Has) clears the complaint.
+  EXPECT_TRUE(p.Has("alpah"));
+  EXPECT_TRUE(p.VerifyAllRead().ok());
 }
 
 // ------------------------------------------------ Status propagation ---
