@@ -5,11 +5,17 @@
 // (T x k), which decouples the chain algebra from the emission family and
 // makes the recursions testable against brute-force enumeration.
 //
-// Every routine comes in two flavours: a convenience form that allocates its
-// own scratch space, and a hot-path form taking an InferenceWorkspace whose
-// buffers are reused across calls. The batched EM engine (hmm/engine.h) keeps
-// one workspace per worker thread and runs entire training jobs without
-// touching the allocator after warm-up.
+// The canonical entry points are the Status-returning Try* forms
+// (TryForwardBackward / TryLogLikelihood / TryViterbi): they take an
+// InferenceWorkspace whose buffers are reused across calls (zero heap
+// traffic after warm-up) and report an impossible sequence as an
+// InvalidArgument instead of killing the process — the contract every
+// request-facing layer builds on. The aborting conveniences (ForwardBackward
+// et al.) are thin wrappers over Try* that DHMM_CHECK the status; they exist
+// for training loops and tests whose inputs are trusted by construction, and
+// new request-facing code must not use them. The batched EM engine
+// (hmm/engine.h) keeps one workspace per worker thread and runs entire
+// training jobs without touching the allocator after warm-up.
 //
 // The inner loops run on the deterministic micro-kernels in linalg/kernels.h
 // (restrict pointers, fixed 4-way accumulation order, 64-byte-aligned
@@ -118,11 +124,19 @@ struct ForwardBackwardResult {
   double log_likelihood = 0.0;
 };
 
-/// \brief Runs the scaled forward-backward recursions.
+/// \brief Runs the scaled forward-backward recursions — the canonical,
+/// non-aborting form.
 ///
 /// \param pi     initial state distribution (k).
 /// \param a      row-stochastic transition matrix (k x k).
 /// \param log_b  emission log-probabilities, log_b(t, i) = log P(y_t | X_t=i).
+///
+/// A sequence with zero probability under the model — an all-impossible
+/// frame, a chain-unreachable frame, or scaled-emission underflow that
+/// vanishes the forward mass — returns InvalidArgument naming the frame
+/// ("... at frame <t>"), never a process abort; `*out` is unspecified on
+/// error. Reuses `ws` buffers (allocation-free after warm-up) and resizes
+/// out->gamma / out->xi_sum in place.
 ///
 /// Scaling: each frame's emissions are shifted by their max before
 /// exponentiation and the forward messages renormalized per step, so the pass
@@ -132,40 +146,39 @@ struct ForwardBackwardResult {
 /// forward and the fused backward/xi loops; the backward pass and the
 /// xi-accumulation run as a single sweep over t that reuses the per-frame
 /// product btilde(t+1,.) * beta_hat(t+1,.) / c_{t+1} while it is hot.
-ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
-                                      const linalg::Matrix& a,
-                                      const linalg::Matrix& log_b);
-
-/// \brief Workspace form: reuses `ws` buffers and writes into `*out`,
-/// resizing out->gamma / out->xi_sum in place. Bitwise-identical results to
-/// the allocating form.
-void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
-                     ForwardBackwardResult* out);
-
-/// \brief Non-aborting workspace form for request-facing callers (the
-/// serve layer): a sequence with zero probability under the model — an
-/// all-impossible frame, a chain-unreachable frame, or scaled-emission
-/// underflow that vanishes the forward mass — returns InvalidArgument
-/// instead of tripping a DHMM_CHECK process abort. Identical arithmetic
-/// (and bitwise-identical results) to ForwardBackward on the OK path.
 Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
                           const linalg::Matrix& log_b,
                           InferenceWorkspace* ws,
                           ForwardBackwardResult* out);
 
-/// \brief log P(Y | lambda) only (forward pass).
-double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b);
+/// \brief Aborting wrapper over TryForwardBackward for trusted inputs
+/// (training loops, tests): DHMM_CHECKs the status. Bitwise-identical
+/// results on the OK path. Internal/test convenience — request-facing code
+/// uses TryForwardBackward.
+void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* out);
 
-/// \brief Workspace form of LogLikelihood (allocation-free after warm-up).
-double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b, InferenceWorkspace* ws);
+/// \brief Aborting convenience that also allocates its own scratch — for
+/// one-off calls in tests and offline analysis only.
+ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const linalg::Matrix& log_b);
 
-/// \brief Non-aborting form of LogLikelihood (see TryForwardBackward).
+/// \brief log P(Y | lambda) only (forward pass) — canonical non-aborting
+/// form; error contract of TryForwardBackward.
 Status TryLogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
                         const linalg::Matrix& log_b, InferenceWorkspace* ws,
                         double* out);
+
+/// \brief Aborting wrapper over TryLogLikelihood for trusted inputs
+/// (allocation-free after warm-up). Internal/test convenience.
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws);
+
+/// \brief Aborting convenience with its own scratch — one-off calls only.
+double LogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b);
 
 /// \brief Result of Viterbi decoding.
 struct ViterbiResult {
@@ -173,27 +186,29 @@ struct ViterbiResult {
   double log_joint = 0.0;   ///< log P(X*, Y)
 };
 
-/// \brief Most-likely state sequence via the Viterbi recursion (log domain).
+/// \brief Most-likely state sequence via the Viterbi recursion (log
+/// domain) — canonical non-aborting form. A sequence with no finite-score
+/// state path returns InvalidArgument (see TryForwardBackward).
 ///
 /// Tie-breaking contract: when several predecessors (or final states) attain
 /// the same score, the lowest state index wins. Tests pin this so storage
-/// rewrites cannot silently change decoded paths.
-ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
-                      const linalg::Matrix& log_b);
+/// rewrites cannot silently change decoded paths. Backpointers live in the
+/// workspace's flat row-major `psi` buffer (one allocation for the whole
+/// table, reused across calls) and the log-transition matrix comes from the
+/// workspace's TransitionCache (rebuilt only when A changes).
+Status TryViterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                  const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                  ViterbiResult* out);
 
-/// \brief Workspace form: backpointers live in the workspace's flat
-/// row-major `psi` buffer (one allocation for the whole table, reused across
-/// calls) and the log-transition matrix comes from the workspace's
-/// TransitionCache (rebuilt only when A changes).
+/// \brief Aborting wrapper over TryViterbi for trusted inputs.
+/// Internal/test convenience — request-facing code uses TryViterbi.
 void Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
              const linalg::Matrix& log_b, InferenceWorkspace* ws,
              ViterbiResult* out);
 
-/// \brief Non-aborting form of Viterbi: a sequence with no finite-score
-/// state path returns InvalidArgument (see TryForwardBackward).
-Status TryViterbi(const linalg::Vector& pi, const linalg::Matrix& a,
-                  const linalg::Matrix& log_b, InferenceWorkspace* ws,
-                  ViterbiResult* out);
+/// \brief Aborting convenience with its own scratch — one-off calls only.
+ViterbiResult Viterbi(const linalg::Vector& pi, const linalg::Matrix& a,
+                      const linalg::Matrix& log_b);
 
 }  // namespace dhmm::hmm
 

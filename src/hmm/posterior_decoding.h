@@ -15,25 +15,26 @@
 
 namespace dhmm::hmm {
 
-/// \brief Per-frame argmax of the posterior marginals gamma.
-std::vector<int> PosteriorDecode(const linalg::Vector& pi,
-                                 const linalg::Matrix& a,
-                                 const linalg::Matrix& log_b);
-
-/// \brief Workspace form: runs forward-backward through `ws`, leaves the
-/// marginals in `*fb`, and writes the per-frame argmax into `*path`
-/// (lowest state index on ties, matching Vector::argmax).
-void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
-                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
-                     ForwardBackwardResult* fb, std::vector<int>* path);
-
-/// \brief Non-aborting form for request-facing callers: an impossible
-/// sequence returns InvalidArgument (see TryForwardBackward) instead of a
-/// DHMM_CHECK process abort.
+/// \brief Per-frame argmax of the posterior marginals gamma — canonical
+/// non-aborting form. Runs forward-backward through `ws`, leaves the
+/// marginals in `*fb`, and writes the per-frame argmax into `*path` (lowest
+/// state index on ties, matching Vector::argmax). An impossible sequence
+/// returns InvalidArgument (see TryForwardBackward), never a process abort.
 Status TryPosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
                           const linalg::Matrix& log_b,
                           InferenceWorkspace* ws, ForwardBackwardResult* fb,
                           std::vector<int>* path);
+
+/// \brief Aborting wrapper over TryPosteriorDecode for trusted inputs.
+/// Internal/test convenience — request-facing code uses the Try form.
+void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                     const linalg::Matrix& log_b, InferenceWorkspace* ws,
+                     ForwardBackwardResult* fb, std::vector<int>* path);
+
+/// \brief Aborting convenience with its own scratch — one-off calls only.
+std::vector<int> PosteriorDecode(const linalg::Vector& pi,
+                                 const linalg::Matrix& a,
+                                 const linalg::Matrix& log_b);
 
 /// \brief Posterior-decodes every sequence in a dataset.
 template <typename Obs>

@@ -46,31 +46,22 @@
 #include "hmm/model.h"
 #include "hmm/posterior_decoding.h"
 #include "hmm/serialization.h"
+#include "serve/request.h"
 #include "util/check.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace dhmm::serve {
 
-/// What a request asks of the model.
-enum class DecodeKind {
-  kViterbi,        ///< most likely state path + its log joint
-  kPosterior,      ///< per-frame posterior argmax path + data log-likelihood
-  kLogLikelihood,  ///< data log-likelihood only
-};
-
-/// \brief Completed request payload. Valid until the owning DecodeFuture is
+/// The completed-request payload is the one response type of the serving
+/// API (serve/request.h). Valid until the owning DecodeFuture is
 /// released/destroyed; copy out anything needed longer.
-struct DecodeResult {
-  Status status;             ///< non-OK for rejected requests (e.g. empty)
-  DecodeKind kind = DecodeKind::kViterbi;
-  std::vector<int> path;     ///< kViterbi / kPosterior; empty otherwise
-  double value = 0.0;        ///< log joint (Viterbi) or log-likelihood
-  uint64_t model_version = 0;  ///< which model snapshot served the request
-};
+using DecodeResult = DecodeResponse;
 
-/// Options for the service.
-struct ServeOptions {
+/// Options for the service. Designated-initializer-friendly POD with a
+/// Validate() checked at construction — the shared shape of every serve
+/// options struct (see the README options table).
+struct DecodeServiceOptions {
   /// Worker parallelism for batch fan-out, including the dispatcher thread;
   /// <= 0 selects std::thread::hardware_concurrency(). Results are
   /// identical for every value.
@@ -79,7 +70,22 @@ struct ServeOptions {
   /// lower tail latency under mixed traffic, larger batches amortize
   /// dispatch overhead.
   size_t max_batch = 64;
+
+  /// A config error (absurd thread count) surfaces here, before the
+  /// service spins up threads on it.
+  Status Validate() const {
+    if (num_threads > kMaxThreads) {
+      return Status::InvalidArgument(
+          "DecodeServiceOptions::num_threads is absurdly large");
+    }
+    return Status::OK();
+  }
+
+  static constexpr int kMaxThreads = 4096;
 };
+
+/// Pre-unification spelling, kept as an alias for existing callers.
+using ServeOptions = DecodeServiceOptions;
 
 template <typename Obs>
 class DecodeService;
@@ -92,6 +98,7 @@ namespace internal {
 template <typename Obs>
 struct RequestSlot {
   DecodeKind kind = DecodeKind::kViterbi;
+  uint64_t request_id = 0;                // echoed into the response
   const std::vector<Obs>* obs = nullptr;  // borrowed until done
   DecodeResult result;
 
@@ -166,10 +173,12 @@ template <typename Obs>
 class DecodeService {
  public:
   explicit DecodeService(std::shared_ptr<const hmm::HmmModel<Obs>> model,
-                         const ServeOptions& options = {})
+                         const DecodeServiceOptions& options = {})
       : options_(options),
         pool_(options.num_threads),
         workers_(static_cast<size_t>(pool_.num_threads())) {
+    const Status opt_st = options.Validate();
+    DHMM_CHECK_MSG(opt_st.ok(), opt_st.message().c_str());
     DHMM_CHECK_MSG(model != nullptr, "DecodeService requires a model");
     model->Validate();
     model_ = std::move(model);
@@ -198,9 +207,14 @@ class DecodeService {
   DecodeService(const DecodeService&) = delete;
   DecodeService& operator=(const DecodeService&) = delete;
 
-  /// \brief Enqueues one request. `obs` is borrowed — it must stay alive
-  /// and unmodified until the returned future completes.
-  DecodeFuture<Obs> Submit(DecodeKind kind, const std::vector<Obs>& obs) {
+  /// \brief Enqueues one request — the canonical entry point; the wire
+  /// front-end submits the exact same type. `req.obs` is borrowed: it must
+  /// stay alive and unmodified until the returned future completes.
+  /// `req.model` and `req.deadline_micros` are the caller's concern (the
+  /// registry routes on the former, the front-end enforces the latter);
+  /// the single-model service echoes them through untouched.
+  DecodeFuture<Obs> Submit(const DecodeRequest<Obs>& req) {
+    DHMM_CHECK_MSG(req.obs != nullptr, "DecodeRequest without observations");
     internal::RequestSlot<Obs>* slot = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -211,13 +225,23 @@ class DecodeService {
       }
       slot = free_.back();
       free_.pop_back();
-      slot->kind = kind;
-      slot->obs = &obs;
+      slot->kind = req.kind;
+      slot->request_id = req.request_id;
+      slot->obs = req.obs;
       slot->done = false;
       pending_.push_back(slot);
     }
     pending_cv_.notify_one();
     return DecodeFuture<Obs>(this, slot);
+  }
+
+  /// Convenience form for in-process callers that have no correlation id
+  /// or deadline. Same borrow contract as the request form.
+  DecodeFuture<Obs> Submit(DecodeKind kind, const std::vector<Obs>& obs) {
+    DecodeRequest<Obs> req;
+    req.kind = kind;
+    req.obs = &obs;
+    return Submit(req);
   }
 
   /// A temporary would be freed while the request is still queued; the
@@ -345,6 +369,7 @@ class DecodeService {
     Worker& w = workers_[static_cast<size_t>(worker)];
     const hmm::HmmModel<Obs>& m = *batch_model_;
     DecodeResult& r = slot->result;
+    r.request_id = slot->request_id;
     r.kind = slot->kind;
     r.model_version = batch_version_;
     r.path.clear();
@@ -380,7 +405,7 @@ class DecodeService {
     if (!r.status.ok()) r.path.clear();
   }
 
-  const ServeOptions options_;
+  const DecodeServiceOptions options_;
   util::ThreadPool pool_;
   std::vector<Worker> workers_;  // one per pool worker
   std::function<void(int, size_t)> batch_fn_;

@@ -1,0 +1,63 @@
+// The one request/response pair of the serving API.
+//
+// A decode request is the same type everywhere: in-process callers hand a
+// DecodeRequest to DecodeService::Submit, and the wire protocol
+// (serve/wire.h) is nothing but a (de)serialization of this pair — the
+// header fields of a wire frame are exactly the scalar members below, and
+// the payload is the observation sequence / the response body. Adding a
+// field here means adding it to the codec, and nowhere else.
+#ifndef DHMM_SERVE_REQUEST_H_
+#define DHMM_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dhmm::serve {
+
+/// Registry key for a model. Fixed-width so it rides in the wire header.
+using ModelId = uint64_t;
+
+/// What a request asks of the model. Values are the wire encoding.
+enum class DecodeKind : uint8_t {
+  kViterbi = 0,        ///< most likely state path + its log joint
+  kPosterior = 1,      ///< per-frame posterior argmax + data log-likelihood
+  kLogLikelihood = 2,  ///< data log-likelihood only
+};
+
+/// \brief One decode request — in-process and on the wire.
+///
+/// The observation sequence is *borrowed*: it must stay alive and
+/// unmodified until the request completes. The wire path points this at a
+/// pooled per-request buffer; in-process callers point it at their own
+/// vector. Everything else is plain scalars, so a request is trivially
+/// copyable and never owns heap state.
+template <typename Obs>
+struct DecodeRequest {
+  uint64_t request_id = 0;   ///< caller-chosen correlation id, echoed back
+  ModelId model = 0;         ///< registry key; single-model services ignore
+  DecodeKind kind = DecodeKind::kViterbi;
+  /// Relative deadline in microseconds from submission; 0 = none. The
+  /// front-end sheds a request whose deadline expires while it is still
+  /// queued (DeadlineExceeded) rather than decoding dead work.
+  uint64_t deadline_micros = 0;
+  const std::vector<Obs>* obs = nullptr;  ///< borrowed until completion
+};
+
+/// \brief Completed request payload — in-process and on the wire.
+///
+/// In-process it lives in a pooled slot (valid until the owning
+/// DecodeFuture is released); on the wire it is the response frame body.
+struct DecodeResponse {
+  uint64_t request_id = 0;   ///< echoed from the request
+  Status status;             ///< non-OK for rejected requests
+  DecodeKind kind = DecodeKind::kViterbi;
+  std::vector<int> path;     ///< kViterbi / kPosterior; empty otherwise
+  double value = 0.0;        ///< log joint (Viterbi) or log-likelihood
+  uint64_t model_version = 0;  ///< which model snapshot served the request
+};
+
+}  // namespace dhmm::serve
+
+#endif  // DHMM_SERVE_REQUEST_H_

@@ -38,17 +38,32 @@ namespace dhmm::serve {
 /// Largest accepted smoothing lag (the ring holds lag + 1 frames).
 inline constexpr size_t kMaxLag = size_t{1} << 24;
 
-/// Options for the streaming decoder.
-struct StreamingOptions {
+/// Options for the streaming decoder. Designated-initializer-friendly POD
+/// with a Validate() checked at construction — the shared shape of every
+/// serve options struct (see the README options table).
+struct StreamingDecoderOptions {
   /// Smoothing lag L: the label for frame t is emitted after seeing frame
   /// t + L. 0 emits filtered (forward-only) labels immediately; larger lags
   /// trade latency — and compute: exact fixed-lag smoothing re-runs the
   /// backward sweep over the window, O(L * k^2) per pushed frame — for
   /// accuracy. A lag >= T - 1 reproduces offline posterior decoding
   /// exactly (labels then all come from Finish(), one O(T * k^2) sweep).
-  /// Must be <= kMaxLag.
   size_t lag = 8;
+
+  /// Ring storage is (lag + 1) x k doubles: bound the lag so a config
+  /// error (e.g. a negative flag cast to size_t) cannot overflow the
+  /// window arithmetic or request an absurd allocation.
+  Status Validate() const {
+    if (lag > kMaxLag) {
+      return Status::InvalidArgument(
+          "StreamingDecoderOptions::lag is absurdly large");
+    }
+    return Status::OK();
+  }
 };
+
+/// Pre-unification spelling, kept as an alias for existing callers.
+using StreamingOptions = StreamingDecoderOptions;
 
 /// \brief Incremental fixed-lag posterior decoder over one live stream.
 ///
@@ -57,8 +72,10 @@ template <typename Obs>
 class StreamingDecoder {
  public:
   explicit StreamingDecoder(std::shared_ptr<const hmm::HmmModel<Obs>> model,
-                            const StreamingOptions& options = {})
+                            const StreamingDecoderOptions& options = {})
       : options_(options) {
+    const Status opt_st = options.Validate();
+    DHMM_CHECK_MSG(opt_st.ok(), opt_st.message().c_str());
     DHMM_CHECK_MSG(model != nullptr, "StreamingDecoder requires a model");
     model->Validate();
     model_ = std::move(model);
@@ -270,11 +287,6 @@ class StreamingDecoder {
 
   void SizeBuffers() {
     const size_t k = model_->num_states();
-    // Ring storage is (lag + 1) x k doubles: bound the lag so a config
-    // error (e.g. a negative flag cast to size_t) cannot overflow the
-    // window arithmetic or request an absurd allocation.
-    DHMM_CHECK_MSG(options_.lag <= kMaxLag,
-                   "StreamingOptions::lag is absurdly large");
     // The model is fixed until the next Reset(model): build the transpose
     // once here instead of revalidating the cache on every push.
     a_t_ = &transition_.Transpose(model_->a);
@@ -301,7 +313,7 @@ class StreamingDecoder {
     finished_ = false;
   }
 
-  const StreamingOptions options_;
+  const StreamingDecoderOptions options_;
   std::shared_ptr<const hmm::HmmModel<Obs>> model_;
   hmm::TransitionCache transition_;  // shared machinery with the workspaces
   const linalg::Matrix* a_t_ = nullptr;  // A^T, rebuilt on Reset(model)

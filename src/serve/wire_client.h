@@ -1,0 +1,144 @@
+// A minimal blocking client for the wire protocol (serve/wire.h).
+//
+// Used by the loopback tests, the front-end benchmark, and the gateway
+// example. Split send/receive entry points let callers pipeline many
+// requests per connection; Call() is the one-shot convenience. All
+// buffers are members and grow-only, so a warm request/response round
+// performs zero client-side heap allocations on the OK path.
+#ifndef DHMM_SERVE_WIRE_CLIENT_H_
+#define DHMM_SERVE_WIRE_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace dhmm::serve {
+
+/// \brief Blocking loopback client speaking the binary wire protocol.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// \brief Connects to 127.0.0.1:`port`.
+  Status Connect(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return Errno("socket");
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const Status st = Errno("connect");
+      Close();
+      return st;
+    }
+    return Status::OK();
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// \brief Encodes and sends one request frame. Returns without waiting
+  /// for the response, so callers can pipeline.
+  template <typename Obs>
+  Status Send(const DecodeRequest<Obs>& req) {
+    if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+    send_buf_.clear();
+    DHMM_RETURN_NOT_OK(wire::EncodeRequest(req, &send_buf_));
+    return SendRaw(send_buf_.data(), send_buf_.size());
+  }
+
+  /// \brief Sends `size` raw bytes — tests use this to inject malformed
+  /// frames the typed encoder refuses to produce.
+  Status SendRaw(const uint8_t* data, size_t size) {
+    if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+    size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("send");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// \brief Blocks for the next response frame. The returned
+  /// `resp->status` is the server-side decode status; a non-OK return
+  /// here means the transport itself failed (closed connection,
+  /// undecodable frame).
+  Status Receive(DecodeResponse* resp, wire::FrameHeader* header = nullptr) {
+    if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+    DHMM_RETURN_NOT_OK(ReceiveExact(wire::kHeaderSize));
+    wire::FrameHeader h;
+    DHMM_RETURN_NOT_OK(wire::DecodeHeader(recv_buf_.data(),
+                                          wire::kHeaderSize, &h));
+    DHMM_RETURN_NOT_OK(ReceiveExact(h.payload_len));
+    if (header != nullptr) *header = h;
+    return wire::DecodeResponsePayload(h, recv_buf_.data(), h.payload_len,
+                                       resp);
+  }
+
+  /// \brief One-shot convenience: Send + Receive.
+  template <typename Obs>
+  Status Call(const DecodeRequest<Obs>& req, DecodeResponse* resp,
+              wire::FrameHeader* header = nullptr) {
+    DHMM_RETURN_NOT_OK(Send(req));
+    return Receive(resp, header);
+  }
+
+ private:
+  static Status Errno(const char* what) {
+    return Status::Internal(std::string(what) + ": " +
+                            std::strerror(errno));
+  }
+
+  Status ReceiveExact(size_t size) {
+    if (recv_buf_.size() < size) recv_buf_.resize(size);  // grow-only
+    size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::recv(fd_, recv_buf_.data() + off, size - off, 0);
+      if (n == 0) {
+        return Status::Unavailable("connection closed by server");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("recv");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  int fd_ = -1;
+  std::vector<uint8_t> send_buf_;
+  std::vector<uint8_t> recv_buf_;
+};
+
+}  // namespace dhmm::serve
+
+#endif  // DHMM_SERVE_WIRE_CLIENT_H_

@@ -13,6 +13,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kNotConverged: return "NotConverged";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -14,16 +14,21 @@
 
 namespace dhmm {
 
-/// Error/result code carried by a Status.
+/// Error/result code carried by a Status. The set is canonical: every
+/// layer (training, serving, the wire protocol) maps its failures onto
+/// these codes instead of inventing per-layer error enums, so a code
+/// means the same thing at the API boundary and on the wire.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
   kOutOfRange,
   kFailedPrecondition,
-  kNotFound,
+  kNotFound,          ///< missing file, unknown model id, absent flag
   kIOError,
   kNotConverged,
   kInternal,
+  kDeadlineExceeded,  ///< request deadline expired before completion
+  kUnavailable,       ///< transient overload — shed, retry later
 };
 
 /// \brief Lightweight success/error carrier (RocksDB-style).
@@ -57,6 +62,23 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// From a raw code + message — the wire decoder's entry point. An
+  /// out-of-enum code (a frame from a newer peer) degrades to kInternal
+  /// rather than aborting or forging kOk.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    if (code < StatusCode::kInvalidArgument ||
+        code > StatusCode::kUnavailable) {
+      return Status(StatusCode::kInternal, std::move(msg));
+    }
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -97,10 +119,25 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(v_);
   }
 
+  /// Code of the underlying status — kOk exactly when ok(). Mirrors
+  /// Status::code() so call sites can switch on a Result directly.
+  StatusCode code() const {
+    return ok() ? StatusCode::kOk : std::get<Status>(v_).code();
+  }
+
   /// Access the held value. Precondition: ok().
   const T& value() const& { return std::get<T>(v_); }
   T& value() & { return std::get<T>(v_); }
   T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// The held value, or `fallback` on error — for callers with a safe
+  /// default (mirrors std::optional::value_or).
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::get<T>(std::move(v_)) : std::move(fallback);
+  }
 
  private:
   std::variant<T, Status> v_;

@@ -1,0 +1,612 @@
+// The multi-model serving contract (ModelRegistry + FrontEnd):
+//  - registry: register/acquire/version bookkeeping, LRU eviction of
+//    unpinned models with transparent cold reload from the remembered
+//    checkpoint, pinned models never evicted,
+//  - hot-reload error path: a failed (torn/corrupt/missing) checkpoint
+//    load leaves the previous snapshot serving and surfaces a Status,
+//  - loopback integration: wire requests against every registered model
+//    decode bitwise-identically to offline single-threaded references,
+//  - typed error responses: unknown model -> NotFound, expired deadline ->
+//    DeadlineExceeded, full queue -> Unavailable, malformed payload ->
+//    InvalidArgument — never a crash or an abort,
+//  - steady-state wire round trips at a fixed shape make zero heap
+//    allocations (instrumented operator new).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/posterior_decoding.h"
+#include "hmm/sampler.h"
+#include "hmm/sequence.h"
+#include "hmm/serialization.h"
+#include "prob/gaussian_emission.h"
+#include "prob/rng.h"
+#include "serve/frontend.h"
+#include "serve/model_registry.h"
+#include "serve/wire_client.h"
+
+// ----------------------------------------------------- allocation counter ---
+
+// Global operator new instrumentation, the serve_test/kernels_test pattern:
+// a zero delta across a call proves the call is allocation-free.
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dhmm {
+namespace {
+
+namespace wire = serve::wire;
+
+std::shared_ptr<const hmm::HmmModel<double>> MakeModel(size_t k,
+                                                       uint64_t seed) {
+  prob::Rng rng(seed);
+  linalg::Vector mu(k);
+  linalg::Vector sigma(k, 0.8);
+  for (size_t i = 0; i < k; ++i) mu[i] = static_cast<double>(i);
+  return std::make_shared<const hmm::HmmModel<double>>(
+      rng.DirichletSymmetric(k, 2.0), rng.RandomStochasticMatrix(k, k, 2.0),
+      std::make_unique<prob::GaussianEmission>(mu, sigma));
+}
+
+std::vector<double> MakeObs(const hmm::HmmModel<double>& model, size_t length,
+                            uint64_t seed) {
+  prob::Rng rng(seed);
+  return hmm::SampleSequence(model, length, rng).obs;
+}
+
+struct OfflineRef {
+  hmm::ViterbiResult viterbi;
+  std::vector<int> posterior;
+  double log_likelihood;
+};
+
+OfflineRef Offline(const hmm::HmmModel<double>& m,
+                   const std::vector<double>& obs) {
+  OfflineRef ref;
+  linalg::Matrix log_b = m.emission->LogProbTable(obs);
+  ref.viterbi = hmm::Viterbi(m.pi, m.a, log_b);
+  ref.posterior = hmm::PosteriorDecode(m.pi, m.a, log_b);
+  ref.log_likelihood = hmm::LogLikelihood(m.pi, m.a, log_b);
+  return ref;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --------------------------------------------------------- ModelRegistry ---
+
+TEST(ModelRegistryTest, RegisterAcquireVersionLifecycle) {
+  serve::ModelRegistry<double> registry;
+  ASSERT_TRUE(registry.Register(1, MakeModel(3, 10)).ok());
+  ASSERT_TRUE(registry.Register(2, MakeModel(4, 20)).ok());
+
+  EXPECT_EQ(registry.ModelVersion(1).value_or(0), 1u);
+  EXPECT_EQ(registry.resident_count(), 2u);
+  EXPECT_EQ(registry.Ids(), (std::vector<serve::ModelId>{1, 2}));
+
+  // Re-registering a live id is an explicit error, not a silent swap.
+  EXPECT_EQ(registry.Register(1, MakeModel(3, 11)).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(registry.UpdateModel(1, MakeModel(3, 12)).ok());
+  EXPECT_EQ(registry.ModelVersion(1).value_or(0), 2u);
+
+  EXPECT_EQ(registry.Acquire(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.UpdateModel(99, MakeModel(2, 1)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.ModelVersion(99).code(), StatusCode::kNotFound);
+
+  auto svc = registry.Acquire(1);
+  ASSERT_TRUE(svc.ok());
+  const std::vector<double> obs = MakeObs(*MakeModel(3, 12), 9, 3);
+  auto fut = svc.value()->Submit(serve::DecodeKind::kViterbi, obs);
+  EXPECT_TRUE(fut.Wait().status.ok());
+}
+
+TEST(ModelRegistryTest, LruEvictsOldestUnpinnedAndColdReloads) {
+  const std::string p1 = TempPath("registry_lru_1.hmm");
+  const std::string p2 = TempPath("registry_lru_2.hmm");
+  const std::string p3 = TempPath("registry_lru_3.hmm");
+  auto m1 = MakeModel(3, 31);
+  auto m2 = MakeModel(4, 32);
+  auto m3 = MakeModel(5, 33);
+  ASSERT_TRUE(hmm::SaveHmmToFile(*m1, p1).ok());
+  ASSERT_TRUE(hmm::SaveHmmToFile(*m2, p2).ok());
+  ASSERT_TRUE(hmm::SaveHmmToFile(*m3, p3).ok());
+
+  serve::ModelRegistryOptions opts;
+  opts.max_resident = 2;
+  serve::ModelRegistry<double> registry(opts);
+  ASSERT_TRUE(registry.RegisterFromFile(1, p1).ok());
+  ASSERT_TRUE(registry.RegisterFromFile(2, p2).ok());
+  ASSERT_TRUE(registry.RegisterFromFile(3, p3).ok());
+
+  // 1 was least recently touched: registering 3 evicted it.
+  EXPECT_EQ(registry.resident_count(), 2u);
+  ASSERT_TRUE(registry.Acquire(2).ok());
+  ASSERT_TRUE(registry.Acquire(3).ok());
+  EXPECT_EQ(registry.resident_count(), 2u);
+
+  // Cold reload: the evicted model comes back from its checkpoint and
+  // still decodes bitwise-identically to the in-memory original.
+  const std::vector<double> obs = MakeObs(*m1, 11, 5);
+  const OfflineRef ref = Offline(*m1, obs);
+  auto svc = registry.Acquire(1);
+  ASSERT_TRUE(svc.ok());
+  auto fut = svc.value()->Submit(serve::DecodeKind::kViterbi, obs);
+  const serve::DecodeResult& r = fut.Wait();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.path, ref.viterbi.path);
+  EXPECT_EQ(r.value, ref.viterbi.log_joint);
+  fut.Release();
+  // Loading 1 pushed the residency back over the cap: still 2 resident.
+  EXPECT_EQ(registry.resident_count(), 2u);
+
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+  std::filesystem::remove(p3);
+}
+
+TEST(ModelRegistryTest, PinnedModelsNeverEvicted) {
+  serve::ModelRegistryOptions opts;
+  opts.max_resident = 1;
+  serve::ModelRegistry<double> registry(opts);
+  ASSERT_TRUE(registry.Register(1, MakeModel(3, 41), /*pinned=*/true).ok());
+  ASSERT_TRUE(registry.Register(2, MakeModel(3, 42), /*pinned=*/true).ok());
+  // Both pinned: the cap cannot be enforced and both stay resident.
+  EXPECT_EQ(registry.resident_count(), 2u);
+  EXPECT_EQ(registry.Evict(1).code(), StatusCode::kFailedPrecondition);
+
+  // Unpinning re-applies the cap: the stale model goes.
+  ASSERT_TRUE(registry.Pin(1, false).ok());
+  EXPECT_EQ(registry.resident_count(), 1u);
+  // 1 had no checkpoint path: acquiring it is a typed Unavailable.
+  EXPECT_EQ(registry.Acquire(1).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(registry.Acquire(2).ok());
+}
+
+TEST(ModelRegistryTest, FailedReloadKeepsPreviousSnapshotServing) {
+  const std::string path = TempPath("registry_reload.hmm");
+  auto m1 = MakeModel(3, 51);
+  ASSERT_TRUE(hmm::SaveHmmToFile(*m1, path).ok());
+  serve::ModelRegistry<double> registry;
+  ASSERT_TRUE(registry.RegisterFromFile(1, path).ok());
+
+  const std::vector<double> obs = MakeObs(*m1, 13, 6);
+  const OfflineRef ref = Offline(*m1, obs);
+
+  // Simulate a torn write landing mid-reload: truncate the checkpoint to
+  // half its bytes, then reload. The load must fail and the registry must
+  // keep serving the registered snapshot.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const Status torn = registry.ReloadModel(1);
+  EXPECT_FALSE(torn.ok());
+  EXPECT_EQ(registry.ModelVersion(1).value_or(0), 1u);  // no version bump
+
+  // Missing file: same contract.
+  std::filesystem::remove(path);
+  EXPECT_FALSE(registry.ReloadModel(1).ok());
+
+  auto svc = registry.Acquire(1);
+  ASSERT_TRUE(svc.ok());
+  auto fut = svc.value()->Submit(serve::DecodeKind::kViterbi, obs);
+  const serve::DecodeResult& r = fut.Wait();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.path, ref.viterbi.path);
+  EXPECT_EQ(r.value, ref.viterbi.log_joint);
+  fut.Release();
+
+  // A good checkpoint reloads and bumps the version.
+  auto m2 = MakeModel(3, 52);
+  ASSERT_TRUE(hmm::SaveHmmToFile(*m2, path).ok());
+  ASSERT_TRUE(registry.ReloadModel(1).ok());
+  EXPECT_EQ(registry.ModelVersion(1).value_or(0), 2u);
+  EXPECT_EQ(registry.ReloadModel(99).code(), StatusCode::kNotFound);
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------------------- FrontEnd ---
+
+class FrontEndTest : public ::testing::Test {
+ protected:
+  void StartFrontEnd(const serve::FrontEndOptions& opts = {}) {
+    frontend_ =
+        std::make_unique<serve::FrontEnd<double>>(&registry_, opts);
+    ASSERT_TRUE(frontend_->Start().ok());
+  }
+
+  serve::DecodeRequest<double> Request(serve::ModelId model,
+                                       serve::DecodeKind kind,
+                                       const std::vector<double>* obs,
+                                       uint64_t id) {
+    serve::DecodeRequest<double> req;
+    req.request_id = id;
+    req.model = model;
+    req.kind = kind;
+    req.obs = obs;
+    return req;
+  }
+
+  serve::ModelRegistry<double> registry_;
+  std::unique_ptr<serve::FrontEnd<double>> frontend_;
+};
+
+TEST_F(FrontEndTest, LoopbackBitwiseMatchesOfflineForEveryModel) {
+  auto m1 = MakeModel(3, 61);
+  auto m2 = MakeModel(5, 62);
+  ASSERT_TRUE(registry_.Register(1, m1).ok());
+  ASSERT_TRUE(registry_.Register(2, m2).ok());
+  StartFrontEnd();
+
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+
+  uint64_t next_id = 1;
+  for (const auto& [model_id, model] :
+       {std::pair{serve::ModelId{1}, m1}, std::pair{serve::ModelId{2}, m2}}) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      const std::vector<double> obs = MakeObs(*model, 15, 70 + seed);
+      const OfflineRef ref = Offline(*model, obs);
+
+      serve::DecodeResponse resp;
+      wire::FrameHeader h;
+      ASSERT_TRUE(client
+                      .Call(Request(model_id, serve::DecodeKind::kViterbi,
+                                    &obs, next_id),
+                            &resp, &h)
+                      .ok());
+      ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+      EXPECT_EQ(h.model, model_id);
+      EXPECT_EQ(resp.request_id, next_id);
+      EXPECT_EQ(resp.path, ref.viterbi.path);
+      EXPECT_EQ(resp.value, ref.viterbi.log_joint);  // bitwise
+      ++next_id;
+
+      ASSERT_TRUE(client
+                      .Call(Request(model_id, serve::DecodeKind::kPosterior,
+                                    &obs, next_id),
+                            &resp)
+                      .ok());
+      ASSERT_TRUE(resp.status.ok());
+      EXPECT_EQ(resp.path, ref.posterior);
+      EXPECT_EQ(resp.value, ref.log_likelihood);
+      ++next_id;
+
+      ASSERT_TRUE(client
+                      .Call(Request(model_id, serve::DecodeKind::kLogLikelihood,
+                                    &obs, next_id),
+                            &resp)
+                      .ok());
+      ASSERT_TRUE(resp.status.ok());
+      EXPECT_TRUE(resp.path.empty());
+      EXPECT_EQ(resp.value, ref.log_likelihood);
+      ++next_id;
+    }
+  }
+  EXPECT_EQ(frontend_->requests_served(), next_id - 1);
+}
+
+TEST_F(FrontEndTest, PipelinedRequestsAcrossModelsKeepTheirIds) {
+  auto m1 = MakeModel(3, 81);
+  auto m2 = MakeModel(4, 82);
+  ASSERT_TRUE(registry_.Register(1, m1).ok());
+  ASSERT_TRUE(registry_.Register(2, m2).ok());
+  StartFrontEnd();
+
+  const std::vector<double> obs1 = MakeObs(*m1, 12, 83);
+  const std::vector<double> obs2 = MakeObs(*m2, 12, 84);
+  const OfflineRef ref1 = Offline(*m1, obs1);
+  const OfflineRef ref2 = Offline(*m2, obs2);
+
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  constexpr int kRounds = 8;
+  for (int i = 0; i < kRounds; ++i) {
+    const bool first = i % 2 == 0;
+    ASSERT_TRUE(client
+                    .Send(Request(first ? 1 : 2, serve::DecodeKind::kViterbi,
+                                  first ? &obs1 : &obs2,
+                                  static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    serve::DecodeResponse resp;
+    ASSERT_TRUE(client.Receive(&resp).ok());
+    // One connection: responses come back in submission order.
+    ASSERT_EQ(resp.request_id, static_cast<uint64_t>(i));
+    ASSERT_TRUE(resp.status.ok());
+    const OfflineRef& ref = i % 2 == 0 ? ref1 : ref2;
+    EXPECT_EQ(resp.path, ref.viterbi.path);
+    EXPECT_EQ(resp.value, ref.viterbi.log_joint);
+  }
+}
+
+TEST_F(FrontEndTest, UnknownModelIsTypedNotFound) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 91)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5};
+
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(
+      client.Call(Request(999, serve::DecodeKind::kViterbi, &obs, 7), &resp)
+          .ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(resp.request_id, 7u);
+  EXPECT_EQ(frontend_->routing_errors(), 1u);
+
+  // The connection survives a routing error.
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kViterbi, &obs, 8), &resp)
+          .ok());
+  EXPECT_TRUE(resp.status.ok());
+}
+
+TEST_F(FrontEndTest, ExpiredDeadlineIsTypedDeadlineExceeded) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 92)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5, 2.5};
+
+  // Hold the dispatcher so the deadline provably expires while queued.
+  frontend_->PauseDispatch();
+  serve::DecodeRequest<double> req =
+      Request(1, serve::DecodeKind::kViterbi, &obs, 11);
+  req.deadline_micros = 1;
+  ASSERT_TRUE(client.Send(req).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  frontend_->ResumeDispatch();
+
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(client.Receive(&resp).ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.request_id, 11u);
+  EXPECT_EQ(frontend_->deadline_expired(), 1u);
+
+  // An ample deadline decodes normally.
+  req.deadline_micros = 60'000'000;
+  req.request_id = 12;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  EXPECT_TRUE(resp.status.ok());
+}
+
+TEST_F(FrontEndTest, FullQueueShedsWithTypedUnavailable) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 93)).ok());
+  serve::FrontEndOptions opts;
+  opts.queue_capacity = 2;
+  StartFrontEnd(opts);
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5, 2.5};
+
+  // With the dispatcher held, only queue_capacity requests fit; the rest
+  // must be shed immediately with Unavailable.
+  frontend_->PauseDispatch();
+  constexpr uint64_t kTotal = 6;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_TRUE(
+        client.Send(Request(1, serve::DecodeKind::kLogLikelihood, &obs, i))
+            .ok());
+  }
+  // Wait until the IO thread has processed (and shed) the overflow.
+  for (int spin = 0; spin < 200 && frontend_->requests_shed() < kTotal - 2;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  frontend_->ResumeDispatch();
+
+  size_t ok = 0, shed = 0;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    serve::DecodeResponse resp;
+    ASSERT_TRUE(client.Receive(&resp).ok());
+    if (resp.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(resp.status.code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, kTotal - 2);
+  EXPECT_EQ(frontend_->requests_shed(), kTotal - 2);
+}
+
+TEST_F(FrontEndTest, MalformedPayloadGetsTypedErrorAndConnectionSurvives) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 94)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5};
+
+  // Unknown request kind, framing otherwise intact.
+  std::vector<uint8_t> frame;
+  ASSERT_TRUE(
+      wire::EncodeRequest(Request(1, serve::DecodeKind::kViterbi, &obs, 21),
+                          &frame)
+          .ok());
+  frame[6] = 7;  // kind byte
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(client.Receive(&resp).ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(resp.request_id, 21u);
+  EXPECT_EQ(frontend_->protocol_errors(), 1u);
+
+  // Framing was intact, so the connection keeps working.
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kViterbi, &obs, 22), &resp)
+          .ok());
+  EXPECT_TRUE(resp.status.ok());
+}
+
+TEST_F(FrontEndTest, GarbageHeaderClosesConnection) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 95)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  std::vector<uint8_t> garbage(wire::kHeaderSize, 0xAB);
+  ASSERT_TRUE(client.SendRaw(garbage.data(), garbage.size()).ok());
+  serve::DecodeResponse resp;
+  EXPECT_FALSE(client.Receive(&resp).ok());  // server closed the stream
+
+  // The server itself is unharmed: a fresh connection decodes fine.
+  const std::vector<double> obs = {0.5, 1.5};
+  serve::WireClient client2;
+  ASSERT_TRUE(client2.Connect(frontend_->port()).ok());
+  ASSERT_TRUE(
+      client2.Call(Request(1, serve::DecodeKind::kViterbi, &obs, 31), &resp)
+          .ok());
+  EXPECT_TRUE(resp.status.ok());
+}
+
+TEST_F(FrontEndTest, OversizedPayloadGetsOutOfRangeThenClose) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 96)).ok());
+  serve::FrontEndOptions opts;
+  opts.max_payload_bytes = 256;
+  StartFrontEnd(opts);
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+
+  wire::FrameHeader h;
+  h.kind = static_cast<uint8_t>(serve::DecodeKind::kViterbi);
+  h.model = 1;
+  h.request_id = 41;
+  h.payload_len = 4096;  // over the front-end cap, under the wire cap
+  uint8_t header[wire::kHeaderSize];
+  wire::EncodeHeader(h, header);
+  ASSERT_TRUE(client.SendRaw(header, sizeof(header)).ok());
+
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(client.Receive(&resp).ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(resp.request_id, 41u);
+  // After the typed response the connection is gone (its framing cannot
+  // be resynchronized past an unread payload).
+  EXPECT_FALSE(client.Receive(&resp).ok());
+}
+
+TEST_F(FrontEndTest, SteadyStateWireRoundTripIsAllocationFree) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(4, 97)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  auto snapshot = registry_.Acquire(1);
+  ASSERT_TRUE(snapshot.ok());
+  const std::vector<double> obs =
+      MakeObs(*snapshot.value()->ModelSnapshot(), 17, 98);
+  snapshot.value().reset();
+
+  auto round = [&](uint64_t id, serve::DecodeResponse* resp) {
+    serve::DecodeRequest<double> req =
+        Request(1, serve::DecodeKind::kViterbi, &obs, id);
+    return client.Call(req, resp).ok() && resp->status.ok();
+  };
+
+  serve::DecodeResponse resp;
+  for (uint64_t i = 0; i < 50; ++i) ASSERT_TRUE(round(i, &resp));  // warm-up
+
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  bool all_ok = true;
+  for (uint64_t i = 0; i < 20; ++i) all_ok = all_ok && round(100 + i, &resp);
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state wire round trips must not allocate";
+}
+
+TEST_F(FrontEndTest, HotSwapDuringTrafficServesBothVersions) {
+  auto m1 = MakeModel(3, 99);
+  auto m2 = MakeModel(3, 100);
+  ASSERT_TRUE(registry_.Register(1, m1).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = MakeObs(*m1, 14, 101);
+
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kViterbi, &obs, 51), &resp)
+          .ok());
+  ASSERT_TRUE(resp.status.ok());
+  const OfflineRef ref1 = Offline(*m1, obs);
+  EXPECT_EQ(resp.path, ref1.viterbi.path);
+  EXPECT_EQ(resp.value, ref1.viterbi.log_joint);
+
+  ASSERT_TRUE(registry_.UpdateModel(1, m2).ok());
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kViterbi, &obs, 52), &resp)
+          .ok());
+  ASSERT_TRUE(resp.status.ok());
+  const OfflineRef ref2 = Offline(*m2, obs);
+  EXPECT_EQ(resp.path, ref2.viterbi.path);
+  EXPECT_EQ(resp.value, ref2.viterbi.log_joint);
+  EXPECT_GT(resp.model_version, 1u);  // the swap is visible on the wire
+}
+
+TEST_F(FrontEndTest, OptionsValidateRejectsNonsense) {
+  serve::FrontEndOptions opts;
+  opts.queue_capacity = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.max_payload_bytes = wire::kMaxPayload + 1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.max_connections = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.poll_timeout_ms = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.max_inflight_batch = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  EXPECT_TRUE(serve::FrontEndOptions{}.Validate().ok());
+  serve::ModelRegistryOptions ropts;
+  ropts.max_resident = 0;
+  EXPECT_FALSE(ropts.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dhmm

@@ -1,6 +1,11 @@
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/flags.h"
+#include "util/mpsc_ring.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -33,6 +38,34 @@ TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, ServingCodesRenderNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Unavailable("shed").ToString(), "Unavailable: shed");
+}
+
+TEST(StatusTest, FromCodeRoundTripsAndRejectsOutOfEnum) {
+  // Every named constructor's code survives a FromCode round trip — the
+  // wire decoder relies on this.
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kIOError, StatusCode::kNotConverged, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable}) {
+    const Status s = Status::FromCode(code, "m");
+    EXPECT_EQ(s.code(), code);
+    EXPECT_EQ(s.message(), "m");
+  }
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").ok());
+  // An out-of-enum code (a newer peer) degrades to Internal, never aborts
+  // and never forges OK.
+  const Status weird = Status::FromCode(static_cast<StatusCode>(99), "m");
+  EXPECT_EQ(weird.code(), StatusCode::kInternal);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -58,6 +91,88 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("payload"));
   std::string v = std::move(r).value();
   EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ValueOrFallsBackOnError) {
+  Result<int> ok(7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_EQ(err.value_or(-1), -1);
+  Result<std::string> moved(std::string("payload"));
+  EXPECT_EQ(std::move(moved).value_or("fallback"), "payload");
+}
+
+TEST(ResultTest, CodeMirrorsStatus) {
+  EXPECT_EQ(Result<int>(3).code(), StatusCode::kOk);
+  EXPECT_EQ(Result<int>(Status::Unavailable("x")).code(),
+            StatusCode::kUnavailable);
+}
+
+// -------------------------------------------------------------- MpscRing ---
+
+TEST(MpscRingTest, PushPopIsFifo) {
+  util::MpscRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_EQ(ring.size_approx(), 5u);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&v));
+}
+
+TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(util::MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(util::MpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(util::MpscRing<int>(64).capacity(), 64u);
+}
+
+TEST(MpscRingTest, FullRingRefusesPushUntilPop) {
+  util::MpscRing<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));  // backpressure: shed, don't block
+  int v = 0;
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_TRUE(ring.TryPush(3));
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(MpscRingTest, ConcurrentProducersDeliverEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  util::MpscRing<int> ring(128);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        while (!ring.TryPush(item)) std::this_thread::yield();
+      }
+    });
+  }
+  constexpr size_t kTotal = size_t{kProducers} * kPerProducer;
+  std::vector<int> seen;
+  seen.reserve(kTotal);
+  int v = 0;
+  while (seen.size() < kTotal) {
+    if (ring.TryPop(&v)) {
+      seen.push_back(v);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(ring.TryPop(&v));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(seen[static_cast<size_t>(i)], i);
+  }
 }
 
 // ----------------------------------------------------------- string_util ---
