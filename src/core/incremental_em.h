@@ -1,0 +1,270 @@
+// Incremental (stepwise / mini-batch) EM for the diversified HMM: the
+// train side of the train→serve loop.
+//
+// An IncrementalEmTrainer owns a mutable working model plus one
+// hmm::EStepAccumulator. Posteriors flow in from two directions —
+// AccumulateBatch() runs exact mini-batch E-steps on the batched engine,
+// and the AccumulateStream* entry points ingest live fixed-lag posteriors
+// straight out of serve::SessionManager — and Step() turns whatever has
+// accumulated into one M-step: the closed-form pi / emission updates plus
+// the paper's DPP-diversified transition update through the persistent
+// core::TransitionUpdateWorkspace (alpha = 0 degrades to the exact
+// maximum-likelihood row normalization of hmm::FitEm). Each Step()
+// publishes a fresh immutable snapshot for RCU hot-swap into
+// serve::DecodeService / serve::ModelRegistry / serve::SessionManager —
+// the paper's diversified training running continuously instead of
+// offline.
+//
+// Contract (tests/session_test.cc): one AccumulateBatch over the full
+// dataset followed by Step() reproduces one hmm::FitEm iteration
+// **bitwise** — same accumulator type, same reduction order, same M-step
+// expression — for both the ML and the DPP-diversified transition update,
+// and for every engine thread count. N such rounds reproduce N FitEm
+// iterations.
+//
+// Thread-safe: stream accumulation arrives from many pusher threads; all
+// entry points serialize on one internal mutex. Steady-state stream
+// accumulation is allocation-free (scratch is grow-only).
+#ifndef DHMM_CORE_INCREMENTAL_EM_H_
+#define DHMM_CORE_INCREMENTAL_EM_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/transition_update.h"
+#include "hmm/engine.h"
+#include "hmm/estep_accumulator.h"
+#include "hmm/model.h"
+#include "hmm/sequence.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace dhmm::core {
+
+/// Options for the incremental trainer. Validate()-checked POD, like the
+/// serve options structs.
+struct IncrementalEmOptions {
+  /// Diversity weight (paper's alpha). 0 selects the exact Baum-Welch
+  /// maximum-likelihood transition update of hmm::FitEm; > 0 runs the
+  /// Algorithm-1 projected-gradient MAP update each Step().
+  double alpha = 0.0;
+  /// Product-kernel exponent (paper fixes 0.5).
+  double rho = 0.5;
+  /// Inner Algorithm-1 controls for the diversified transition update.
+  optim::ProjectedGradientOptions ascent;
+  /// Floor applied to transition rows after projection.
+  double row_floor = 1e-10;
+  bool update_pi = true;
+  bool update_transitions = true;
+  bool update_emission = true;
+  /// E-step worker threads for AccumulateBatch (any value produces
+  /// bitwise-identical statistics; purely a throughput knob).
+  int num_threads = 1;
+  /// StepReady() gate: frames to accumulate before a Step is suggested.
+  /// 0 means the caller paces Steps manually.
+  uint64_t min_frames_per_step = 0;
+
+  Status Validate() const {
+    if (!(alpha >= 0.0)) {
+      return Status::InvalidArgument(
+          "IncrementalEmOptions::alpha must be >= 0");
+    }
+    if (!(rho > 0.0)) {
+      return Status::InvalidArgument(
+          "IncrementalEmOptions::rho must be > 0");
+    }
+    if (!(row_floor >= 0.0)) {
+      return Status::InvalidArgument(
+          "IncrementalEmOptions::row_floor must be >= 0");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Stepwise EM driver: accumulate posteriors, Step(), hot-swap.
+template <typename Obs>
+class IncrementalEmTrainer {
+ public:
+  explicit IncrementalEmTrainer(
+      std::shared_ptr<const hmm::HmmModel<Obs>> init,
+      const IncrementalEmOptions& options = {})
+      : options_(options),
+        engine_(hmm::BatchOptions{options.num_threads}),
+        snapshot_(std::move(init)),
+        model_(*snapshot_) {
+    const Status opt_st = options.Validate();
+    DHMM_CHECK_MSG(opt_st.ok(), opt_st.message().c_str());
+    model_.Validate();
+    update_opts_.alpha = options_.alpha;
+    update_opts_.rho = options_.rho;
+    update_opts_.ascent = options_.ascent;
+    update_opts_.row_floor = options_.row_floor;
+    acc_.Reset(model_.num_states());
+    qrow_.Resize(model_.num_states());
+  }
+
+  IncrementalEmTrainer(const IncrementalEmTrainer&) = delete;
+  IncrementalEmTrainer& operator=(const IncrementalEmTrainer&) = delete;
+
+  /// \brief One exact E-step over `batch`, added into the open round.
+  /// Feeding the full dataset as one batch makes the following Step() a
+  /// bitwise hmm::FitEm iteration; tiling it across calls is mini-batch EM
+  /// with identical statistics.
+  void AccumulateBatch(const hmm::Dataset<Obs>& batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    OpenRoundLocked();
+    engine_.AccumulateEStep(
+        model_, batch, &acc_,
+        options_.update_emission ? model_.emission.get() : nullptr);
+  }
+
+  /// \brief Ingests one live-stream frame: smoothed posterior `gamma`
+  /// (length k, normalized — what serve/stream_math.h leaves in its gamma
+  /// row) plus the raw observation for the emission statistics.
+  /// Allocation-free at steady state.
+  void AccumulateStreamFrame(const Obs& y, const double* gamma, size_t k,
+                             bool first_frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DHMM_DCHECK(k == model_.num_states());
+    OpenRoundLocked();
+    acc_.AddStreamFrame(gamma, first_frame);
+    if (options_.update_emission) {
+      double* q = qrow_.data();
+      for (size_t i = 0; i < k; ++i) q[i] = gamma[i];
+      model_.emission->Accumulate(y, qrow_);
+    }
+  }
+
+  /// \brief Ingests one fixed-lag transition posterior: `alpha` is the
+  /// scaled forward message at the emitted frame under the *serving*
+  /// model whose transition matrix is `a`, and `frame_u` the hoisted
+  /// backward product the smoothing sweep left behind (see
+  /// hmm::EStepAccumulator::AddStreamTransition).
+  void AccumulateStreamTransition(const double* alpha,
+                                  const linalg::Matrix& a,
+                                  const double* frame_u) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DHMM_DCHECK(a.rows() == model_.num_states());
+    OpenRoundLocked();
+    acc_.AddStreamTransition(alpha, a, frame_u);
+  }
+
+  /// Frames accumulated in the open round.
+  uint64_t frames_accumulated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acc_.frames;
+  }
+
+  /// True when at least min_frames_per_step frames have accumulated
+  /// (always false at 0 frames, and when the gate is disabled).
+  bool StepReady() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_.min_frames_per_step > 0 &&
+           acc_.frames >= options_.min_frames_per_step;
+  }
+
+  /// M-steps performed so far.
+  uint64_t steps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steps_;
+  }
+
+  /// Log-likelihood summed over the batch E-steps of the open round —
+  /// the same quantity FitEm records per iteration (stream frames do not
+  /// contribute; their likelihood lives on their sessions).
+  double round_log_likelihood() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acc_.log_likelihood;
+  }
+
+  /// \brief Runs one M-step over everything accumulated since the last
+  /// Step and publishes the resulting immutable snapshot (RCU: hand it to
+  /// DecodeService::UpdateModel / ModelRegistry::UpdateModel /
+  /// SessionManager::UpdateModel). A Step with zero accumulated frames is
+  /// a no-op returning the current snapshot.
+  std::shared_ptr<const hmm::HmmModel<Obs>> Step() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (acc_.frames == 0) return snapshot_;
+    // The exact FitEm M-step order: pi, transitions, emission. Statistics
+    // a round never touched keep their previous parameters: a stream-only
+    // round in which no new stream started has no initial-state evidence
+    // (pi accumulates only from first frames), and a lag-0 round has no
+    // transition posteriors — updating from an all-zero accumulator would
+    // be a division by zero, not an estimate.
+    if (options_.update_pi && acc_.sequences > 0) {
+      acc_.pi_acc.NormalizeToSimplex();
+      model_.pi = acc_.pi_acc;
+    }
+    if (options_.update_transitions && HasMass(acc_.trans_acc)) {
+      if (options_.alpha > 0.0) {
+        // The paper's DPP-diversified update (Algorithm 1) through the
+        // persistent workspace — allocation-free after the first Step at
+        // a given k, exactly like FitDiversifiedHmm's injected M-step.
+        UpdateTransitions(model_.a, acc_.trans_acc, update_opts_, &ws_,
+                          &m_result_);
+        std::swap(model_.a, m_result_.a);
+      } else {
+        a_ml_ = acc_.trans_acc;
+        a_ml_.NormalizeRows();
+        model_.a = a_ml_;
+      }
+    }
+    if (options_.update_emission && round_open_) {
+      model_.emission->FinishAccumulate();
+    }
+    round_open_ = false;
+    acc_.Reset(model_.num_states());
+    ++steps_;
+    snapshot_ = std::make_shared<const hmm::HmmModel<Obs>>(model_);
+    return snapshot_;
+  }
+
+  /// The latest published snapshot (the initial model before any Step).
+  std::shared_ptr<const hmm::HmmModel<Obs>> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snapshot_;
+  }
+
+ private:
+  // True when any expected-count cell is positive — an all-zero matrix
+  // means the round produced no posteriors of this kind.
+  static bool HasMass(const linalg::Matrix& counts) {
+    for (size_t i = 0; i < counts.rows(); ++i) {
+      for (size_t j = 0; j < counts.cols(); ++j) {
+        if (counts(i, j) > 0.0) return true;
+      }
+    }
+    return false;
+  }
+
+  // Opens an EM round on first accumulation after a Step: emission
+  // sufficient statistics live inside the emission model between
+  // BeginAccumulate / FinishAccumulate, bracketed once per round so batch
+  // and mini-batch rounds share one code path.
+  void OpenRoundLocked() {
+    if (round_open_) return;
+    if (options_.update_emission) model_.emission->BeginAccumulate();
+    round_open_ = true;
+  }
+
+  const IncrementalEmOptions options_;
+  TransitionUpdateOptions update_opts_;
+
+  mutable std::mutex mu_;
+  hmm::BatchEmEngine<Obs> engine_;
+  hmm::EStepAccumulator acc_;
+  std::shared_ptr<const hmm::HmmModel<Obs>> snapshot_;
+  hmm::HmmModel<Obs> model_;  // mutable working copy the M-step updates
+  TransitionUpdateWorkspace ws_;
+  TransitionUpdateResult m_result_;
+  linalg::Matrix a_ml_;    // scratch for the ML row normalization
+  linalg::Vector qrow_;    // scratch posterior row for stream frames
+  bool round_open_ = false;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace dhmm::core
+
+#endif  // DHMM_CORE_INCREMENTAL_EM_H_

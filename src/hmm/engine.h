@@ -15,10 +15,10 @@
 #ifndef DHMM_HMM_ENGINE_H_
 #define DHMM_HMM_ENGINE_H_
 
-#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "hmm/estep_accumulator.h"
 #include "hmm/inference.h"
 #include "hmm/model.h"
 #include "hmm/sequence.h"
@@ -33,13 +33,6 @@ struct BatchOptions {
   /// thread. 1 runs inline; <= 0 selects std::thread::hardware_concurrency().
   /// Results are identical for every value.
   int num_threads = 1;
-};
-
-/// \brief Sufficient statistics of one exact E-step over a dataset.
-struct EStepStats {
-  linalg::Vector pi_acc;     ///< k — summed gamma(0, .) over sequences
-  linalg::Matrix trans_acc;  ///< k x k — summed xi over sequences
-  double log_likelihood = 0.0;  ///< total data log-likelihood
 };
 
 /// \brief Reusable batched driver for E-steps, likelihoods, and decodes.
@@ -64,7 +57,24 @@ class BatchEmEngine {
   /// families are: their tables are read-only between M-steps).
   EStepStats EStep(const HmmModel<Obs>& model, const Dataset<Obs>& data,
                    prob::EmissionModel<Obs>* emission_acc = nullptr) {
-    const size_t k = model.num_states();
+    EStepStats stats;
+    stats.Reset(model.num_states());
+    if (emission_acc != nullptr) emission_acc->BeginAccumulate();
+    AccumulateEStep(model, data, &stats, emission_acc);
+    return stats;
+  }
+
+  /// \brief The stepwise / mini-batch entry point: one exact E-step over
+  /// `data` *added into* an existing accumulator. Does not Reset the
+  /// accumulator and does not bracket the emission model — the caller owns
+  /// the EM round (Reset + BeginAccumulate once, then any number of
+  /// mini-batches, then the M-step + FinishAccumulate). EStep above is
+  /// exactly one such round over one batch, so mini-batch EM whose batches
+  /// tile the dataset in order reproduces batch EM bitwise
+  /// (tests/session_test.cc pins this through core::IncrementalEmTrainer).
+  void AccumulateEStep(const HmmModel<Obs>& model, const Dataset<Obs>& data,
+                       EStepAccumulator* acc,
+                       prob::EmissionModel<Obs>* emission_acc = nullptr) {
     per_seq_.resize(data.size());
     // Each worker's workspace carries a TransitionCache: the first sequence a
     // worker sees after an M-step rebuilds A^T once, every later sequence
@@ -77,25 +87,10 @@ class BatchEmEngine {
       ForwardBackward(model.pi, model.a, ws.log_b, &ws, &per_seq_[s]);
     });
 
-    EStepStats stats;
-    stats.pi_acc.Resize(k);
-    stats.trans_acc.Resize(k, k);
-    stats.trans_acc.Fill(0.0);
-    if (emission_acc != nullptr) emission_acc->BeginAccumulate();
-    qrow_.Resize(k);
+    qrow_.Resize(model.num_states());
     for (size_t s = 0; s < data.size(); ++s) {
-      const ForwardBackwardResult& fb = per_seq_[s];
-      stats.log_likelihood += fb.log_likelihood;
-      for (size_t i = 0; i < k; ++i) stats.pi_acc[i] += fb.gamma(0, i);
-      stats.trans_acc += fb.xi_sum;
-      if (emission_acc != nullptr) {
-        for (size_t t = 0; t < data[s].length(); ++t) {
-          std::memcpy(qrow_.data(), fb.gamma.row_data(t), k * sizeof(double));
-          emission_acc->Accumulate(data[s].obs[t], qrow_);
-        }
-      }
+      acc->AddSequence(per_seq_[s], data[s], emission_acc, &qrow_);
     }
-    return stats;
   }
 
   /// \brief Total dataset log-likelihood (forward passes fan out; the sum

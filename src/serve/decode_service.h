@@ -401,6 +401,14 @@ class DecodeService {
         r.status =
             hmm::TryLogLikelihood(m.pi, m.a, w.ws.log_b, &w.ws, &r.value);
         break;
+      case DecodeKind::kSessionPush:
+        // Session pushes carry per-stream state; they route to
+        // serve::SessionManager through the front-end, never to the
+        // stateless batch service.
+        r.status = Status::InvalidArgument(
+            "kSessionPush is not a batch decode; enable sessions on the "
+            "front-end");
+        break;
     }
     if (!r.status.ok()) r.path.clear();
   }

@@ -48,15 +48,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/decode_service.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
+#include "serve/session_manager.h"
 #include "serve/wire.h"
 #include "util/check.h"
 #include "util/mpsc_ring.h"
@@ -198,6 +201,19 @@ class FrontEnd {
     ::close(listen_fd_);
     listen_fd_ = -1;
     running_ = false;
+  }
+
+  /// \brief Enables streaming sessions: kSessionPush frames addressed to
+  /// `model` extend a resident fixed-lag session (one per connection) in
+  /// `sessions` instead of running a stateless batch decode. The manager
+  /// is borrowed and must outlive the front-end; call before Start().
+  /// Pushes addressed to any other model id get NotFound, and a push on a
+  /// front-end without sessions gets FailedPrecondition.
+  void EnableSessions(SessionManager<Obs>* sessions, ModelId model) {
+    DHMM_CHECK_MSG(sessions != nullptr, "EnableSessions requires a manager");
+    DHMM_CHECK_MSG(!running_, "EnableSessions must be called before Start()");
+    sessions_ = sessions;
+    session_model_ = model;
   }
 
   /// The bound port (after Start()).
@@ -475,7 +491,7 @@ class FrontEnd {
   void SynthesizeError(Conn& c, const wire::FrameHeader& h, Status st) {
     scratch_resp_.request_id = h.request_id;
     scratch_resp_.kind =
-        h.kind <= static_cast<uint8_t>(DecodeKind::kLogLikelihood)
+        h.kind <= static_cast<uint8_t>(DecodeKind::kSessionPush)
             ? h.decode_kind()
             : DecodeKind::kViterbi;
     scratch_resp_.status = std::move(st);
@@ -594,6 +610,15 @@ class FrontEnd {
         services_.emplace_back();
         continue;
       }
+      if (slot->kind == DecodeKind::kSessionPush) {
+        // Session pushes run inline on the dispatcher (per-push work is
+        // O(lag * k^2), far below a batch decode) instead of crossing a
+        // DecodeService.
+        HandleSessionPush(slot);
+        futures_.emplace_back();
+        services_.emplace_back();
+        continue;
+      }
       Result<std::shared_ptr<DecodeService<Obs>>> svc =
           registry_->Acquire(slot->model);
       if (!svc.ok()) {
@@ -637,6 +662,85 @@ class FrontEnd {
     WakeIo();
   }
 
+  /// Runs one kSessionPush request against the connection's resident
+  /// session, creating it on first use. The response carries every label
+  /// that left the lag window (resp.path, in stream order) and the running
+  /// stream log-likelihood (resp.value). A poisoned stream reports its
+  /// error once and is torn down, so the connection's next push starts a
+  /// fresh stream; a session reaped by an idle sweep between requests is
+  /// recreated transparently.
+  void HandleSessionPush(ReqSlot* slot) {
+    DecodeResponse& r = slot->resp;
+    if (sessions_ == nullptr) {
+      Bump(routing_errors_);
+      r.status = Status::FailedPrecondition(
+          "sessions are not enabled on this front-end");
+      return;
+    }
+    if (slot->model != session_model_) {
+      Bump(routing_errors_);
+      r.status = Status::NotFound("session pushes serve model id " +
+                                  std::to_string(session_model_) + " only");
+      return;
+    }
+    // One resident session per connection slot. Connection slots are
+    // pooled by index, so a reused slot (fresh generation) lazily tears
+    // down its predecessor's session here, and the map stays bounded by
+    // max_connections.
+    auto [it, inserted] = wire_sessions_.try_emplace(
+        slot->conn_index,
+        std::make_pair(slot->conn_generation, kInvalidSessionHandle));
+    if (!inserted && it->second.first != slot->conn_generation) {
+      (void)sessions_->DestroySession(it->second.second);
+      it->second = {slot->conn_generation, kInvalidSessionHandle};
+    }
+    SessionHandle h = it->second.second;
+    Status st = Status::OK();
+    for (const Obs& y : slot->obs) {
+      if (h == kInvalidSessionHandle) {
+        Result<SessionHandle> created = sessions_->CreateSession();
+        if (!created.ok()) {
+          st = created.status();
+          break;
+        }
+        h = created.value();
+        it->second.second = h;
+      }
+      int label = -1;
+      st = sessions_->Push(h, y, &label);
+      if (st.code() == StatusCode::kNotFound) {
+        // Evicted by an idle sweep between requests: the stream state is
+        // gone, so restart once and retry this frame on the new session.
+        h = kInvalidSessionHandle;
+        Result<SessionHandle> created = sessions_->CreateSession();
+        if (!created.ok()) {
+          st = created.status();
+          break;
+        }
+        h = created.value();
+        it->second.second = h;
+        st = sessions_->Push(h, y, &label);
+      }
+      if (!st.ok()) break;
+      if (label >= 0) r.path.push_back(label);
+    }
+    if (!st.ok()) {
+      if (h != kInvalidSessionHandle) (void)sessions_->DestroySession(h);
+      wire_sessions_.erase(it);
+      Bump(routing_errors_);
+      r.status = std::move(st);
+      r.path.clear();
+      return;
+    }
+    if (h != kInvalidSessionHandle) {
+      const Result<double> ll = sessions_->LogLikelihood(h);
+      if (ll.ok()) r.value = ll.value();
+    }
+    r.model_version = sessions_->model_version();
+    r.status = Status::OK();
+    Bump(requests_served_);
+  }
+
   const FrontEndOptions options_;
   ModelRegistry<Obs>* const registry_;
 
@@ -663,6 +767,12 @@ class FrontEnd {
   std::vector<ReqSlot*> group_;
   std::vector<DecodeFuture<Obs>> futures_;
   std::vector<std::shared_ptr<DecodeService<Obs>>> services_;
+  // Resident wire sessions, keyed by connection slot index; the stored
+  // generation proves the entry belongs to the current tenant of the slot.
+  // Dispatcher-only, like the rest of the session routing.
+  std::map<size_t, std::pair<uint64_t, SessionHandle>> wire_sessions_;
+  SessionManager<Obs>* sessions_ = nullptr;
+  ModelId session_model_ = 0;
   std::mutex dispatch_mu_;
   std::condition_variable dispatch_cv_;
   std::atomic<bool> dispatcher_sleeping_{false};

@@ -232,6 +232,32 @@ class ModelRegistry {
     return Status::OK();
   }
 
+  /// \brief Evicts the least-recently-acquired unpinned resident model —
+  /// the manual form of the residency-cap sweep. Typed failures, never an
+  /// abort: FailedPrecondition both when nothing is resident and when
+  /// every resident model is pinned (tests/frontend_test.cc pins the
+  /// all-pinned case).
+  Status EvictLru() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t resident = 0;
+    Entry* victim = nullptr;
+    for (auto& [id, e] : entries_) {
+      if (e.service == nullptr) continue;
+      ++resident;
+      if (e.pinned) continue;
+      if (victim == nullptr || e.tick < victim->tick) victim = &e;
+    }
+    if (resident == 0) {
+      return Status::FailedPrecondition("no resident models to evict");
+    }
+    if (victim == nullptr) {
+      return Status::FailedPrecondition(
+          "every resident model is pinned — nothing evictable");
+    }
+    victim->service.reset();  // drains in-flight work in the destructor
+    return Status::OK();
+  }
+
   /// Per-model version: 1 at Register, bumped by every UpdateModel /
   /// ReloadModel. Survives eviction.
   Result<uint64_t> ModelVersion(ModelId id) const {

@@ -24,6 +24,13 @@ enum class DecodeKind : uint8_t {
   kViterbi = 0,        ///< most likely state path + its log joint
   kPosterior = 1,      ///< per-frame posterior argmax + data log-likelihood
   kLogLikelihood = 2,  ///< data log-likelihood only
+  /// Streaming push: the observations extend this connection's resident
+  /// fixed-lag session (serve::SessionManager) instead of being decoded as
+  /// a standalone sequence. The response carries the smoothed labels that
+  /// became available (path) and the running stream log-likelihood (value).
+  /// Front-end only — DecodeService rejects it (a session is per-stream
+  /// state, not a stateless batch decode).
+  kSessionPush = 3,
 };
 
 /// \brief One decode request — in-process and on the wire.

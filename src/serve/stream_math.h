@@ -1,0 +1,198 @@
+// The fixed-lag smoothing math shared by StreamingDecoder and
+// SessionManager, over raw ring-buffer views.
+//
+// Both stream front-ends run the exact same kernel call sequence — the
+// scaled forward step and the fused backward/gamma sweep of the offline
+// inference path — so factoring the math over raw pointers is what makes
+// the bitwise contracts composable: StreamingDecoder's labels and
+// SessionManager's labels are bitwise-identical to offline
+// hmm::PosteriorDecode at full lag *by construction*, because they are the
+// same instructions over the same layout. The wrappers own layout, state
+// machines, and error policy; this header owns only arithmetic.
+//
+// A stream's working set is a StreamRings view: two window x k row-major
+// rings (shifted emissions, scaled forward messages), a window-length
+// scale ring, and five k-length scratch rows. RingDoubles() gives the
+// total footprint so callers can carve a whole stream out of one
+// contiguous 64-byte-aligned block (util::SlabArena) or point the view at
+// separately owned linalg buffers — the math cannot tell the difference.
+#ifndef DHMM_SERVE_STREAM_MATH_H_
+#define DHMM_SERVE_STREAM_MATH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "hmm/model.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "prob/logsumexp.h"
+
+namespace dhmm::serve {
+
+/// Largest accepted smoothing lag (the ring holds lag + 1 frames). Bounds
+/// both stream front-ends' options so a config error (e.g. a negative
+/// flag cast to size_t) cannot overflow the window arithmetic or request
+/// an absurd allocation.
+inline constexpr size_t kMaxLag = size_t{1} << 24;
+
+}  // namespace dhmm::serve
+
+namespace dhmm::serve::stream {
+
+/// Ring rows needed for a smoothing lag: lag + 1 frames, but at least two
+/// rows even at lag = 0 — the forward step's input alpha_{t-1} and output
+/// alpha_t must never alias (the kernels take restrict pointers).
+inline size_t Window(size_t lag) { return std::max<size_t>(lag + 1, 2); }
+
+/// \brief Raw views over one stream's ring buffers. Non-owning.
+struct StreamRings {
+  double* btilde = nullptr;     ///< window x k shifted emissions
+  double* alpha = nullptr;      ///< window x k scaled forward messages
+  double* scale = nullptr;      ///< window forward normalizers
+  double* logb = nullptr;       ///< k scratch emission row
+  double* frame_u = nullptr;    ///< k hoisted backward frame product
+  double* beta_cur = nullptr;   ///< k backward message
+  double* beta_next = nullptr;  ///< k backward message (swap partner)
+  double* gamma = nullptr;      ///< k smoothed posterior at emitted frame
+};
+
+/// Doubles needed to back a whole StreamRings at (window, k).
+inline size_t RingDoubles(size_t window, size_t k) {
+  return 2 * window * k + window + 5 * k;
+}
+
+/// Carves a StreamRings view over `base[0 .. RingDoubles(window, k))`.
+inline StreamRings CarveRings(double* base, size_t window, size_t k) {
+  StreamRings r;
+  r.btilde = base;
+  r.alpha = r.btilde + window * k;
+  r.scale = r.alpha + window * k;
+  r.logb = r.scale + window;
+  r.frame_u = r.logb + k;
+  r.beta_cur = r.frame_u + k;
+  r.beta_next = r.beta_cur + k;
+  r.gamma = r.beta_next + k;
+  return r;
+}
+
+/// Outcome of one forward step — the caller maps these onto its error
+/// policy (poison the stream, typed Status) without the math layer ever
+/// constructing a Status (Status carries a string; this layer must stay
+/// allocation-free).
+enum class StepOutcome {
+  kOk = 0,
+  kImpossibleObservation,  ///< zero probability in every state
+  kForwardVanished,        ///< scaled forward message underflowed to 0
+};
+
+/// \brief Emission + scaled forward step for frame t, writing ring row
+/// t % window. On kOk, *loglik_inc holds log(c_t) + m_t, the stream
+/// log-likelihood increment. On failure nothing logical changed: the ring
+/// rows written belong to the already-retired frame t - window, so a
+/// rejected frame leaves the stream exactly as it was.
+template <typename Obs>
+StepOutcome ForwardStep(const hmm::HmmModel<Obs>& model,
+                        const linalg::Matrix& a_t, size_t window, size_t t,
+                        const StreamRings& r, const Obs& y,
+                        double* loglik_inc) {
+  namespace klib = linalg::kernels;
+  const size_t k = model.num_states();
+  const size_t row = t % window;
+  double* btilde_row = r.btilde + row * k;
+  // Emission table row for this frame — the same per-frame shifted table
+  // the offline workspace caches, maintained as a ring.
+  for (size_t i = 0; i < k; ++i) {
+    r.logb[i] = model.emission->LogProb(i, y);
+  }
+  const double m = klib::ExpShiftRow(r.logb, k, btilde_row);
+  if (m == prob::kNegInf) return StepOutcome::kImpossibleObservation;
+
+  // Scaled forward step — identical kernel sequence to the offline
+  // forward pass, so scales and messages match it bitwise.
+  double* alpha = r.alpha + row * k;
+  if (t == 0) {
+    klib::MulRowInto(model.pi.data(), btilde_row, k, alpha);
+  } else {
+    klib::MatVecColMul(a_t.data(), r.alpha + ((t - 1) % window) * k,
+                       btilde_row, k, k, alpha);
+  }
+  const double c = klib::SumRow(alpha, k);
+  if (!(c > 0.0)) return StepOutcome::kForwardVanished;
+  klib::ScaleRow(alpha, k, 1.0 / c);
+  r.scale[row] = c;
+  *loglik_inc = std::log(c) + m;
+  return StepOutcome::kOk;
+}
+
+/// \brief One backward step of the fixed-lag smoother: advances beta from
+/// the frame whose ring row is `next_row` to its predecessor, via the
+/// hoisted frame product — the exact kernel sequence of the offline fused
+/// backward pass. Leaves the product for `next_row` in r.frame_u.
+inline void BetaStep(const linalg::Matrix& a, size_t k, const StreamRings& r,
+                     size_t next_row, const double* beta, double* beta_next) {
+  namespace klib = linalg::kernels;
+  klib::MulRowScaledInto(r.btilde + next_row * k, beta,
+                         1.0 / r.scale[next_row], k, r.frame_u);
+  for (size_t i = 0; i < k; ++i) {
+    beta_next[i] = klib::Dot(a.row_data(i), r.frame_u, k);
+  }
+}
+
+/// \brief Gamma normalization and argmax at `frame` given its backward
+/// message — the offline GammaRow + ArgMaxRow ops. Returns -1 when the
+/// posterior mass vanished numerically (the caller poisons the stream).
+/// The normalized posterior is left in r.gamma for consumers that feed
+/// online E-step accumulators.
+inline int GammaArgmax(size_t k, size_t window, const StreamRings& r,
+                       size_t frame, const double* beta) {
+  namespace klib = linalg::kernels;
+  klib::MulRowInto(r.alpha + (frame % window) * k, beta, k, r.gamma);
+  const double norm = klib::SumRow(r.gamma, k);
+  if (!(norm > 0.0)) return -1;
+  klib::ScaleRow(r.gamma, k, 1.0 / norm);
+  return static_cast<int>(klib::ArgMaxRow(r.gamma, k));
+}
+
+/// \brief Backward pass from `newest` down to `frame` over the ring
+/// (beta = 1 at the newest frame), then GammaArgmax at `frame`. After a
+/// successful call with newest > frame, r.frame_u holds the hoisted
+/// product for frame + 1 — exactly the term an online xi accumulator
+/// needs (see hmm::EStepAccumulator::AddStreamTransition).
+inline int SmoothedLabel(const linalg::Matrix& a, size_t k, size_t window,
+                         const StreamRings& r, size_t frame, size_t newest) {
+  double* beta = r.beta_cur;
+  double* beta_next = r.beta_next;
+  for (size_t i = 0; i < k; ++i) beta[i] = 1.0;
+  for (size_t t = newest; t-- > frame;) {
+    BetaStep(a, k, r, (t + 1) % window, beta, beta_next);
+    std::swap(beta, beta_next);
+  }
+  return GammaArgmax(k, window, r, frame, beta);
+}
+
+/// \brief Finish-time flush: one backward sweep labeling every frame in
+/// [first, newest], written to out[0 .. newest - first]. Returns -1 on
+/// success, or the frame whose posterior vanished (nothing useful was
+/// written; the caller poisons the stream and discards `out`).
+inline ptrdiff_t FinishSweep(const linalg::Matrix& a, size_t k, size_t window,
+                             const StreamRings& r, size_t first,
+                             size_t newest, int* out) {
+  double* beta = r.beta_cur;
+  double* beta_next = r.beta_next;
+  for (size_t i = 0; i < k; ++i) beta[i] = 1.0;
+  for (size_t f = newest + 1; f-- > first;) {
+    if (f != newest) {
+      BetaStep(a, k, r, (f + 1) % window, beta, beta_next);
+      std::swap(beta, beta_next);
+    }
+    const int label = GammaArgmax(k, window, r, f, beta);
+    if (label < 0) return static_cast<ptrdiff_t>(f);
+    out[f - first] = label;
+  }
+  return -1;
+}
+
+}  // namespace dhmm::serve::stream
+
+#endif  // DHMM_SERVE_STREAM_MATH_H_

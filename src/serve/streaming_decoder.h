@@ -4,16 +4,20 @@
 // StreamingDecoder consumes one observation per Push() and emits the
 // smoothed posterior-argmax label for the frame `lag` steps behind the
 // stream head: label(t - lag) = argmax_i q(X_{t-lag} = i | y_0..y_t). The
-// forward pass is the same scaled recursion the offline kernels run
-// (identical kernel calls on the cached transition transpose), so the
-// running log-likelihood is bitwise-identical to offline
-// hmm::LogLikelihood on every prefix; the backward smoothing pass over the
-// lag window replays the offline fused backward ops, so with a lag that
-// covers the whole sequence the labels from Finish() are bitwise-identical
-// to offline hmm::PosteriorDecode (tests/serve_test.cc pins both).
+// arithmetic lives in serve/stream_math.h and is shared with the
+// multi-stream serve::SessionManager: the forward pass is the same scaled
+// recursion the offline kernels run (identical kernel calls on the cached
+// transition transpose), so the running log-likelihood is
+// bitwise-identical to offline hmm::LogLikelihood on every prefix; the
+// backward smoothing pass over the lag window replays the offline fused
+// backward ops, so with a lag that covers the whole sequence the labels
+// from Finish() are bitwise-identical to offline hmm::PosteriorDecode
+// (tests/serve_test.cc pins both).
 //
 // All window buffers are rings sized by (lag, k) and grow-only: after the
-// first Push at a given shape, pushes perform zero heap allocations.
+// first Push at a given shape, pushes perform zero heap allocations, and
+// both Reset() overloads reuse the warm buffers (instrumented-new-pinned),
+// so a finished or errored stream is recycled without reconstruction.
 #ifndef DHMM_SERVE_STREAMING_DECODER_H_
 #define DHMM_SERVE_STREAMING_DECODER_H_
 
@@ -26,17 +30,13 @@
 
 #include "hmm/inference.h"
 #include "hmm/model.h"
-#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
-#include "prob/logsumexp.h"
+#include "serve/stream_math.h"
 #include "util/check.h"
 #include "util/status.h"
 
 namespace dhmm::serve {
-
-/// Largest accepted smoothing lag (the ring holds lag + 1 frames).
-inline constexpr size_t kMaxLag = size_t{1} << 24;
 
 /// Options for the streaming decoder. Designated-initializer-friendly POD
 /// with a Validate() checked at construction — the shared shape of every
@@ -68,6 +68,8 @@ using StreamingOptions = StreamingDecoderOptions;
 /// \brief Incremental fixed-lag posterior decoder over one live stream.
 ///
 /// Thread-compatible: one decoder serves one stream. Reuse via Reset().
+/// For many resident streams over one model, use serve::SessionManager,
+/// which amortizes the per-stream footprint through a slab arena.
 template <typename Obs>
 class StreamingDecoder {
  public:
@@ -90,13 +92,17 @@ class StreamingDecoder {
   StreamingDecoder(StreamingDecoder&&) = delete;
   StreamingDecoder& operator=(StreamingDecoder&&) = delete;
 
-  /// Clears stream state (frames, likelihood, labels) but keeps the model
-  /// and the warm buffers.
+  /// Clears stream state (frames, likelihood, labels, error/finish flags)
+  /// but keeps the model and the warm buffers: a finished or poisoned
+  /// stream is reusable with zero heap allocations
+  /// (tests/serve_test.cc pins this with the instrumented allocator).
   void Reset() { ResetStreamState(); }
 
   /// Swaps in a new model snapshot and restarts the stream — the streaming
   /// analogue of the service's hot-swap (a chain posterior is not
-  /// well-defined across two models, so the stream restarts).
+  /// well-defined across two models, so the stream restarts). Allocation-
+  /// free when the new model has the same state count: buffers and the
+  /// transpose cache are grow-only and rebuilt in place.
   void Reset(std::shared_ptr<const hmm::HmmModel<Obs>> model) {
     DHMM_CHECK_MSG(model != nullptr, "StreamingDecoder requires a model");
     model->Validate();
@@ -116,67 +122,43 @@ class StreamingDecoder {
   /// must never abort the serving process (matching DecodeService's
   /// per-request error contract).
   bool Push(const Obs& y) {
-    namespace klib = linalg::kernels;
     DHMM_CHECK_MSG(!finished_,
                    "Push after Finish — Reset() the decoder first");
     if (!status_.ok()) return false;
-    const size_t k = model_->num_states();
-    const size_t w = window_;
     const size_t t = frames_pushed_;
-    const size_t row = t % w;
-
-    // Emission table row for this frame — the same per-frame shifted table
-    // the offline workspace caches, maintained as a ring. The ring slot
-    // being overwritten holds frame t - window, which is already outside
-    // the live lag window, so a rejection below leaves the stream state
-    // untouched.
-    double* logb = logb_row_.data();
-    for (size_t i = 0; i < k; ++i) {
-      logb[i] = model_->emission->LogProb(i, y);
-    }
-    const double m = klib::ExpShiftRow(logb, k, btilde_.row_data(row));
-    if (m == prob::kNegInf) {
+    double loglik_inc = 0.0;
+    const stream::StepOutcome fwd = stream::ForwardStep(
+        *model_, *a_t_, window_, t, Rings(), y, &loglik_inc);
+    if (fwd == stream::StepOutcome::kImpossibleObservation) {
       status_ = Status::InvalidArgument(
           "observation has zero probability in every state at frame " +
           std::to_string(t));
       return false;
     }
-
-    // Scaled forward step — identical kernel sequence to the offline
-    // forward pass, so scales and messages match it bitwise.
-    double* alpha = alpha_.row_data(row);
-    if (t == 0) {
-      klib::MulRowInto(model_->pi.data(), btilde_.row_data(row), k, alpha);
-    } else {
-      // a_t_ was built once when the model was set: the model is immutable
-      // for the stream's lifetime, so no per-push revalidation memcmp.
-      klib::MatVecColMul(a_t_->data(), alpha_.row_data((t - 1) % w),
-                         btilde_.row_data(row), k, k, alpha);
-    }
-    const double c = klib::SumRow(alpha, k);
-    if (!(c > 0.0)) {
+    if (fwd == stream::StepOutcome::kForwardVanished) {
       status_ = Status::InvalidArgument(
           FrameError("forward message vanished", t));
       return false;
     }
-    klib::ScaleRow(alpha, k, 1.0 / c);
-    scale_[row] = c;
 
     if (t < options_.lag) {
-      log_likelihood_ += std::log(c) + m;
+      log_likelihood_ += loglik_inc;
       frames_pushed_ = t + 1;
       return false;
     }
     // Smooth before committing the frame, so every rejection path leaves
     // the stream exactly as it was (the ring rows written above belong to
     // an already-retired frame).
-    const int label = SmoothedLabel(/*frame=*/t - options_.lag, /*newest=*/t);
+    const int label =
+        stream::SmoothedLabel(model_->a, model_->num_states(), window_,
+                              Rings(), /*frame=*/t - options_.lag,
+                              /*newest=*/t);
     if (label < 0) {
       status_ = Status::InvalidArgument(
           FrameError("posterior mass vanished", t - options_.lag));
       return false;
     }
-    log_likelihood_ += std::log(c) + m;
+    log_likelihood_ += loglik_inc;
     frames_pushed_ = t + 1;
     last_label_ = label;
     ++labels_emitted_;
@@ -201,25 +183,16 @@ class StreamingDecoder {
     const size_t newest = frames_pushed_ - 1;
     const size_t first = labels_emitted_;  // oldest frame not yet labeled
     if (first > newest) return;
-    const size_t k = model_->num_states();
     const size_t base = tail->size();
     tail->resize(base + (newest - first + 1));
-    double* beta = beta_cur_.data();
-    double* beta_next = beta_next_.data();
-    for (size_t i = 0; i < k; ++i) beta[i] = 1.0;
-    for (size_t f = newest + 1; f-- > first;) {
-      if (f != newest) {
-        BetaStep((f + 1) % window_, beta, beta_next);
-        std::swap(beta, beta_next);
-      }
-      const int label = GammaArgmax(f, beta);
-      if (label < 0) {
-        status_ = Status::InvalidArgument(
-            FrameError("posterior mass vanished", f));
-        tail->resize(base);
-        return;
-      }
-      (*tail)[base + (f - first)] = label;
+    const ptrdiff_t bad =
+        stream::FinishSweep(model_->a, model_->num_states(), window_,
+                            Rings(), first, newest, tail->data() + base);
+    if (bad >= 0) {
+      status_ = Status::InvalidArgument(
+          FrameError("posterior mass vanished", static_cast<size_t>(bad)));
+      tail->resize(base);
+      return;
     }
     labels_emitted_ = newest + 1;
   }
@@ -241,48 +214,18 @@ class StreamingDecoder {
     return hmm::internal::FrameError(what, t);
   }
 
-  // One backward step of the fixed-lag smoother: advances beta from the
-  // frame whose ring row is `next_row` to its predecessor, via the hoisted
-  // frame product — the exact kernel sequence of the offline fused
-  // backward pass, shared by Push-time smoothing and Finish().
-  void BetaStep(size_t next_row, const double* beta, double* beta_next) {
-    namespace klib = linalg::kernels;
-    const size_t k = model_->num_states();
-    const linalg::Matrix& a = model_->a;
-    klib::MulRowScaledInto(btilde_.row_data(next_row), beta,
-                           1.0 / scale_[next_row], k, frame_u_.data());
-    for (size_t i = 0; i < k; ++i) {
-      beta_next[i] = klib::Dot(a.row_data(i), frame_u_.data(), k);
-    }
-  }
-
-  // Gamma normalization and argmax at `frame` given its backward message —
-  // the offline GammaRow + ArgMaxRow ops. Returns -1 when the posterior
-  // mass vanished numerically (the caller poisons the stream — never a
-  // process abort, matching the Try* service paths).
-  int GammaArgmax(size_t frame, const double* beta) {
-    namespace klib = linalg::kernels;
-    const size_t k = model_->num_states();
-    double* gamma = gamma_.data();
-    klib::MulRowInto(alpha_.row_data(frame % window_), beta, k, gamma);
-    const double norm = klib::SumRow(gamma, k);
-    if (!(norm > 0.0)) return -1;
-    klib::ScaleRow(gamma, k, 1.0 / norm);
-    return static_cast<int>(klib::ArgMaxRow(gamma, k));
-  }
-
-  // Backward pass from `newest` down to `frame` over the ring (beta = 1 at
-  // the newest frame), then GammaArgmax at `frame`.
-  int SmoothedLabel(size_t frame, size_t newest) {
-    const size_t k = model_->num_states();
-    double* beta = beta_cur_.data();
-    double* beta_next = beta_next_.data();
-    for (size_t i = 0; i < k; ++i) beta[i] = 1.0;
-    for (size_t t = newest; t-- > frame;) {
-      BetaStep((t + 1) % window_, beta, beta_next);
-      std::swap(beta, beta_next);
-    }
-    return GammaArgmax(frame, beta);
+  // Non-owning view over the member buffers for the shared math layer.
+  stream::StreamRings Rings() {
+    stream::StreamRings r;
+    r.btilde = btilde_.data();
+    r.alpha = alpha_.data();
+    r.scale = scale_.data();
+    r.logb = logb_row_.data();
+    r.frame_u = frame_u_.data();
+    r.beta_cur = beta_cur_.data();
+    r.beta_next = beta_next_.data();
+    r.gamma = gamma_.data();
+    return r;
   }
 
   void SizeBuffers() {
@@ -290,10 +233,7 @@ class StreamingDecoder {
     // The model is fixed until the next Reset(model): build the transpose
     // once here instead of revalidating the cache on every push.
     a_t_ = &transition_.Transpose(model_->a);
-    // At least two ring rows even at lag = 0: the forward step's input
-    // alpha_{t-1} and output alpha_t must never alias (the kernels take
-    // restrict pointers).
-    window_ = std::max<size_t>(options_.lag + 1, 2);
+    window_ = stream::Window(options_.lag);
     btilde_.Resize(window_, k);
     alpha_.Resize(window_, k);
     scale_.Resize(window_);

@@ -96,7 +96,7 @@ Status DecodeResponsePayload(const FrameHeader& h, const uint8_t* payload,
                                    "expected");
   }
   const uint8_t kind = h.kind & ~kResponseBit;
-  if (kind > static_cast<uint8_t>(DecodeKind::kLogLikelihood)) {
+  if (kind > static_cast<uint8_t>(DecodeKind::kSessionPush)) {
     return Status::InvalidArgument("unknown response kind " +
                                    std::to_string(int{kind}));
   }

@@ -196,7 +196,7 @@ Status DecodeRequestPayload(const FrameHeader& h, const uint8_t* payload,
     return Status::InvalidArgument("response frame where a request was "
                                    "expected");
   }
-  if (h.kind > static_cast<uint8_t>(DecodeKind::kLogLikelihood)) {
+  if (h.kind > static_cast<uint8_t>(DecodeKind::kSessionPush)) {
     return Status::InvalidArgument("unknown request kind " +
                                    std::to_string(int{h.kind}));
   }

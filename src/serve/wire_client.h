@@ -11,10 +11,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -22,14 +24,40 @@
 
 #include "serve/request.h"
 #include "serve/wire.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace dhmm::serve {
 
+/// Options for the wire client. Designated-initializer-friendly POD with a
+/// Validate() checked at construction — the shared shape of every serve
+/// options struct (see the README options table).
+struct WireClientOptions {
+  /// Deadline in milliseconds for one whole Receive() (header + payload).
+  /// 0 — the default — blocks indefinitely, the pre-option behavior. When
+  /// set, a response that does not arrive in time returns
+  /// kDeadlineExceeded; the connection is left as-is (a late frame is
+  /// still readable by the next Receive), so callers decide whether to
+  /// resynchronize or Close().
+  int receive_timeout_ms = 0;
+
+  Status Validate() const {
+    if (receive_timeout_ms < 0) {
+      return Status::InvalidArgument(
+          "WireClientOptions::receive_timeout_ms must be >= 0");
+    }
+    return Status::OK();
+  }
+};
+
 /// \brief Blocking loopback client speaking the binary wire protocol.
 class WireClient {
  public:
-  WireClient() = default;
+  explicit WireClient(const WireClientOptions& options = {})
+      : options_(options) {
+    const Status opt_st = options.Validate();
+    DHMM_CHECK_MSG(opt_st.ok(), opt_st.message().c_str());
+  }
   ~WireClient() { Close(); }
   WireClient(const WireClient&) = delete;
   WireClient& operator=(const WireClient&) = delete;
@@ -93,6 +121,11 @@ class WireClient {
   /// undecodable frame).
   Status Receive(DecodeResponse* resp, wire::FrameHeader* header = nullptr) {
     if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+    // One deadline covers the whole frame: header and payload.
+    if (options_.receive_timeout_ms > 0) {
+      deadline_ = Clock::now() +
+                  std::chrono::milliseconds(options_.receive_timeout_ms);
+    }
     DHMM_RETURN_NOT_OK(ReceiveExact(wire::kHeaderSize));
     wire::FrameHeader h;
     DHMM_RETURN_NOT_OK(wire::DecodeHeader(recv_buf_.data(),
@@ -117,10 +150,33 @@ class WireClient {
                             std::strerror(errno));
   }
 
+  // Waits for readability within the Receive() deadline. No-op with the
+  // deadline disabled.
+  Status AwaitReadable() {
+    if (options_.receive_timeout_ms <= 0) return Status::OK();
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline_ - Clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("no response within the receive "
+                                        "deadline");
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int r = ::poll(&p, 1, static_cast<int>(remaining.count()));
+      if (r > 0) return Status::OK();
+      if (r == 0) {
+        return Status::DeadlineExceeded("no response within the receive "
+                                        "deadline");
+      }
+      if (errno != EINTR) return Errno("poll");
+    }
+  }
+
   Status ReceiveExact(size_t size) {
     if (recv_buf_.size() < size) recv_buf_.resize(size);  // grow-only
     size_t off = 0;
     while (off < size) {
+      DHMM_RETURN_NOT_OK(AwaitReadable());
       const ssize_t n = ::recv(fd_, recv_buf_.data() + off, size - off, 0);
       if (n == 0) {
         return Status::Unavailable("connection closed by server");
@@ -134,6 +190,10 @@ class WireClient {
     return Status::OK();
   }
 
+  using Clock = std::chrono::steady_clock;
+
+  const WireClientOptions options_;
+  Clock::time_point deadline_{};
   int fd_ = -1;
   std::vector<uint8_t> send_buf_;
   std::vector<uint8_t> recv_buf_;

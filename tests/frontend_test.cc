@@ -34,8 +34,11 @@
 #include "hmm/serialization.h"
 #include "prob/gaussian_emission.h"
 #include "prob/rng.h"
+#include "serve/decode_service.h"
 #include "serve/frontend.h"
 #include "serve/model_registry.h"
+#include "serve/session_manager.h"
+#include "serve/streaming_decoder.h"
 #include "serve/wire_client.h"
 
 // ----------------------------------------------------- allocation counter ---
@@ -584,6 +587,195 @@ TEST_F(FrontEndTest, HotSwapDuringTrafficServesBothVersions) {
   EXPECT_EQ(resp.path, ref2.viterbi.path);
   EXPECT_EQ(resp.value, ref2.viterbi.log_joint);
   EXPECT_GT(resp.model_version, 1u);  // the swap is visible on the wire
+}
+
+// ------------------------------------------------- sessions on the wire ---
+
+TEST_F(FrontEndTest, SessionPushRoundTripsOverTheWire) {
+  auto model = MakeModel(4, 141);
+  ASSERT_TRUE(registry_.Register(1, model).ok());
+  serve::SessionManagerOptions mopts;
+  mopts.lag = 2;
+  serve::SessionManager<double> sessions(model, mopts);
+  frontend_ = std::make_unique<serve::FrontEnd<double>>(&registry_);
+  frontend_->EnableSessions(&sessions, 1);
+  ASSERT_TRUE(frontend_->Start().ok());
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+
+  // Reference: the single-stream decoder over the same math, same lag.
+  const std::vector<double> obs = MakeObs(*model, 8, 142);
+  serve::StreamingOptions sopts;
+  sopts.lag = 2;
+  serve::StreamingDecoder<double> ref(model, sopts);
+  std::vector<int> want_labels;
+  for (const double y : obs) {
+    if (ref.Push(y)) want_labels.push_back(ref.last_label());
+  }
+  ASSERT_TRUE(ref.ok());
+
+  // First push: 6 frames in, lag 2 => labels for frames 0..3 come back.
+  const std::vector<double> first(obs.begin(), obs.begin() + 6);
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kSessionPush, &first, 61),
+                  &resp)
+          .ok());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.request_id, 61u);
+  EXPECT_EQ(resp.path,
+            std::vector<int>(want_labels.begin(), want_labels.begin() + 4));
+
+  // Second push on the same connection continues the same resident
+  // session: two more labels, and the running log-likelihood is the
+  // 8-frame prefix value, bitwise.
+  const std::vector<double> second(obs.begin() + 6, obs.end());
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kSessionPush, &second, 62),
+                  &resp)
+          .ok());
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.path,
+            std::vector<int>(want_labels.begin() + 4, want_labels.end()));
+  EXPECT_EQ(resp.value, ref.log_likelihood());  // bitwise
+  EXPECT_EQ(resp.model_version, 1u);
+  EXPECT_EQ(sessions.live_sessions(), 1u);
+
+  // Session pushes serve exactly the designated model id.
+  ASSERT_TRUE(
+      client.Call(Request(2, serve::DecodeKind::kSessionPush, &second, 63),
+                  &resp)
+          .ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kNotFound);
+
+  frontend_.reset();  // the manager must outlive the front-end threads
+}
+
+TEST_F(FrontEndTest, SessionPushWithoutSessionsEnabledIsTypedError) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 143)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5};
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kSessionPush, &obs, 71),
+                  &resp)
+          .ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kFailedPrecondition);
+  // The batch service path refuses the opcode outright too.
+  serve::DecodeService<double> service(MakeModel(3, 144));
+  auto fut = service.Submit(serve::DecodeKind::kSessionPush, obs);
+  EXPECT_EQ(fut.Wait().status.code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------- WireClient receive deadline ---
+
+TEST_F(FrontEndTest, ReceiveDeadlineExpiresAndConnectionRecovers) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 151)).ok());
+  StartFrontEnd();
+  serve::WireClientOptions copts;
+  copts.receive_timeout_ms = 60;
+  serve::WireClient client(copts);
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5, 2.5};
+
+  // Hold the dispatcher: the response cannot arrive inside the deadline.
+  frontend_->PauseDispatch();
+  ASSERT_TRUE(
+      client.Send(Request(1, serve::DecodeKind::kViterbi, &obs, 81)).ok());
+  serve::DecodeResponse resp;
+  EXPECT_EQ(client.Receive(&resp).code(), StatusCode::kDeadlineExceeded);
+
+  // The connection was left intact: once the server catches up, the late
+  // frame is still readable by a later Receive.
+  frontend_->ResumeDispatch();
+  Status st = Status::DeadlineExceeded("retry");
+  for (int attempt = 0; attempt < 50 && !st.ok(); ++attempt) {
+    st = client.Receive(&resp);
+  }
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.request_id, 81u);
+
+  // The option is Validate()-checked like every serve options struct.
+  serve::WireClientOptions bad;
+  bad.receive_timeout_ms = -1;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(serve::WireClientOptions{}.Validate().ok());
+}
+
+// ------------------------------------------------- registry LRU edge cases ---
+
+TEST(ModelRegistryTest, EvictLruIsTypedWhenNothingIsEvictable) {
+  serve::ModelRegistry<double> registry;
+  // Empty registry: nothing resident.
+  EXPECT_EQ(registry.EvictLru().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(registry.Register(1, MakeModel(3, 161), /*pinned=*/true).ok());
+  ASSERT_TRUE(registry.Register(2, MakeModel(3, 162), /*pinned=*/true).ok());
+  // Every resident model pinned: a typed refusal, never an abort.
+  EXPECT_EQ(registry.EvictLru().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.resident_count(), 2u);
+
+  // One unpinned model makes it the (only) LRU victim.
+  ASSERT_TRUE(registry.Pin(2, false).ok());
+  EXPECT_TRUE(registry.EvictLru().ok());
+  EXPECT_EQ(registry.resident_count(), 1u);
+  // 2 had no checkpoint path, so acquiring it now is a typed Unavailable.
+  EXPECT_EQ(registry.Acquire(2).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(registry.Acquire(1).ok());
+}
+
+TEST(ModelRegistryTest, ColdReloadRacingUpdateModelStaysCoherent) {
+  const std::string path = TempPath("registry_race.hmm");
+  auto m1 = MakeModel(3, 171);
+  auto m2 = MakeModel(3, 172);
+  ASSERT_TRUE(hmm::SaveHmmToFile(*m1, path).ok());
+  serve::ModelRegistry<double> registry;
+  ASSERT_TRUE(registry.RegisterFromFile(1, path).ok());
+
+  // Thread A cold-loads through Acquire while thread B hot-swaps and
+  // evicts the same id. Acquired services are shared_ptr snapshots, so
+  // every acquired handle must stay usable whatever the interleaving.
+  const std::vector<double> obs = MakeObs(*m1, 10, 173);
+  std::atomic<int> acquire_failures{0};
+  std::thread loader([&] {
+    for (int i = 0; i < 200; ++i) {
+      auto svc = registry.Acquire(1);
+      if (!svc.ok()) {
+        ++acquire_failures;
+        continue;
+      }
+      auto fut = svc.value()->Submit(serve::DecodeKind::kLogLikelihood, obs);
+      if (!fut.Wait().status.ok()) ++acquire_failures;
+    }
+  });
+  std::thread swapper([&] {
+    for (int i = 0; i < 200; ++i) {
+      registry.UpdateModel(1, i % 2 == 0 ? m2 : m1);
+      registry.Evict(1);  // next Acquire cold-loads from the checkpoint
+    }
+  });
+  loader.join();
+  swapper.join();
+  // Every interleaving resolves to a served decode: the remembered
+  // checkpoint makes eviction transparent to Acquire.
+  EXPECT_EQ(acquire_failures.load(), 0);
+
+  // Determinism after the dust settles: evicted state reloads the
+  // checkpoint bytes (m1), bitwise.
+  registry.Evict(1);
+  const OfflineRef ref = Offline(*m1, obs);
+  auto svc = registry.Acquire(1);
+  ASSERT_TRUE(svc.ok());
+  auto fut = svc.value()->Submit(serve::DecodeKind::kViterbi, obs);
+  const serve::DecodeResult& r = fut.Wait();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.path, ref.viterbi.path);
+  EXPECT_EQ(r.value, ref.viterbi.log_joint);
+  fut.Release();
+  std::filesystem::remove(path);
 }
 
 TEST_F(FrontEndTest, OptionsValidateRejectsNonsense) {

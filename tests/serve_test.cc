@@ -513,6 +513,29 @@ TEST(StreamingDecoderTest, PushIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(after - before, 0) << "streaming pushes allocated";
 }
 
+TEST(StreamingDecoderTest, ResetReusesWarmBuffersWithoutAllocating) {
+  auto model_a = MakeModel(6, 115);
+  auto model_b = MakeModel(6, 116);  // same state count: same buffer shape
+  hmm::Dataset<double> data = MakeData(*model_a, 1, 32, 117);
+  serve::StreamingOptions opts;
+  opts.lag = 8;
+  serve::StreamingDecoder<double> dec(model_a, opts);
+  for (size_t t = 0; t < 16; ++t) dec.Push(data[0].obs[t]);
+
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  // Plain Reset: restart the stream on the same model.
+  dec.Reset();
+  for (size_t t = 0; t < 16; ++t) dec.Push(data[0].obs[t]);
+  // Hot-swap Reset: a same-shape model rebuilds the transpose and stream
+  // state entirely inside the warm grow-only buffers.
+  dec.Reset(model_b);
+  for (size_t t = 0; t < 16; ++t) dec.Push(data[0].obs[t]);
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "Reset or post-Reset pushes allocated";
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.frames_pushed(), 16u);
+}
+
 TEST(StreamingDecoderTest, ImpossibleObservationPoisonsStreamNotProcess) {
   // Same contract as the batched service: a zero-probability frame is a
   // stream-level error, never a process abort. The bad frame is not

@@ -6,6 +6,7 @@
 
 #include "util/flags.h"
 #include "util/mpsc_ring.h"
+#include "util/slab_arena.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -426,6 +427,72 @@ TEST(StatusTest, ToStringRendersCodeAndMessage) {
   std::string rendered = Status::IOError("missing file").ToString();
   EXPECT_NE(rendered.find("missing file"), std::string::npos);
   EXPECT_NE(rendered, "missing file");  // the code name is included too
+}
+
+// --------------------------------------------------------- SlabArena ---
+
+TEST(SlabArenaTest, BlocksAreAlignedAndSizeRoundsUp) {
+  // 100 bytes rounds up to the 64-byte alignment grain (128).
+  util::SlabArena arena(100, 4);
+  EXPECT_EQ(arena.block_bytes(), 128u);
+  EXPECT_EQ(arena.blocks_per_slab(), 4u);
+  for (int i = 0; i < 9; ++i) {
+    void* p = arena.Allocate();
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % util::SlabArena::kBlockAlignment,
+              0u);
+  }
+}
+
+TEST(SlabArenaTest, GrowsBySlabsAndBlocksAreDistinct) {
+  util::SlabArena arena(sizeof(double) * 3, 4);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 9; ++i) blocks.push_back(arena.Allocate());
+  // 9 blocks at 4 per slab => 3 slabs, capacity 12.
+  EXPECT_EQ(arena.slab_count(), 3u);
+  EXPECT_EQ(arena.capacity(), 12u);
+  EXPECT_EQ(arena.in_use(), 9u);
+  std::sort(blocks.begin(), blocks.end());
+  EXPECT_EQ(std::adjacent_find(blocks.begin(), blocks.end()), blocks.end());
+  // Every block is fully writable without trampling its neighbors.
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    auto* d = static_cast<unsigned char*>(blocks[b]);
+    for (size_t i = 0; i < arena.block_bytes(); ++i) {
+      d[i] = static_cast<unsigned char>(b);
+    }
+  }
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    auto* d = static_cast<unsigned char*>(blocks[b]);
+    for (size_t i = 0; i < arena.block_bytes(); ++i) {
+      ASSERT_EQ(d[i], static_cast<unsigned char>(b));
+    }
+  }
+}
+
+TEST(SlabArenaTest, ReleaseRecyclesLifoWithoutGrowing) {
+  util::SlabArena arena(64, 2);
+  void* a = arena.Allocate();
+  void* b = arena.Allocate();
+  EXPECT_EQ(arena.in_use(), 2u);
+  arena.Release(b);
+  arena.Release(a);
+  EXPECT_EQ(arena.in_use(), 0u);
+  // LIFO: the most recently released block comes back first.
+  EXPECT_EQ(arena.Allocate(), a);
+  EXPECT_EQ(arena.Allocate(), b);
+  EXPECT_EQ(arena.slab_count(), 1u);  // no growth through the cycle
+}
+
+TEST(SlabArenaTest, GrowOnlyHighWaterMark) {
+  util::SlabArena arena(32, 4);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(arena.Allocate());
+  const size_t slabs_at_peak = arena.slab_count();
+  for (void* p : blocks) arena.Release(p);
+  EXPECT_EQ(arena.in_use(), 0u);
+  // Re-reaching the high-water mark touches no new slabs.
+  for (int i = 0; i < 8; ++i) arena.Allocate();
+  EXPECT_EQ(arena.slab_count(), slabs_at_peak);
+  EXPECT_EQ(arena.in_use(), 8u);
 }
 
 }  // namespace

@@ -154,6 +154,19 @@ TEST(WireRequestTest, RandomIntRoundTrips) {
   }
 }
 
+TEST(WireRequestTest, SessionPushOpcodeIsPinnedAndRoundTrips) {
+  // kSessionPush is wire kind byte 3 — pinned so independently compiled
+  // clients and servers agree on the session front-end opcode.
+  EXPECT_EQ(static_cast<uint8_t>(DecodeKind::kSessionPush), 3);
+  std::vector<double> obs = {0.25, -1.5, 7.75};
+  DecodeRequest<double> req;
+  req.request_id = 99;
+  req.model = 4;
+  req.kind = DecodeKind::kSessionPush;
+  req.obs = &obs;
+  ExpectRequestRoundTrip(req);
+}
+
 TEST(WireRequestTest, EveryPrefixTruncationFails) {
   std::vector<double> obs = {1.5, -2.25, 3.0};
   DecodeRequest<double> req;
@@ -191,8 +204,10 @@ TEST(WireRequestTest, RejectsMalformedPayloads) {
                                                   h.payload_len, &out)
                    .ok());
 
+  // 3 is kSessionPush, a valid opcode since the session front-end; the
+  // first unknown kind is 4.
   wire::FrameHeader unknown = h;
-  unknown.kind = 3;
+  unknown.kind = 4;
   EXPECT_FALSE(
       wire::DecodeRequestPayload<double>(unknown, payload, h.payload_len, &out)
           .ok());
