@@ -1,0 +1,173 @@
+// Microbenchmark for the long-sequence inference path: full materialized
+// forward-backward vs. the checkpointed sweep at T in {1e5, 1e6} frames,
+// k = 20 states.
+//
+// What to look for: the full path materializes the T x k emission table
+// and a T x k gamma (160 MB each at T = 1e6) — its wall-time includes
+// paging that memory and its peak RSS scales with T * k. The checkpointed
+// sweep allocates O(sqrt(T) * k) panels plus the O(T) scale vector,
+// trading ~2x the frame arithmetic for a ~k-fold memory reduction; the
+// peak_rss_mb counter makes the trade visible next to the timing. Both
+// produce bitwise-identical results (tests/engine_test.cc pins that).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "hmm/emission_rows.h"
+#include "hmm/engine.h"
+#include "hmm/inference.h"
+#include "hmm/model.h"
+#include "hmm/sequence.h"
+#include "linalg/matrix.h"
+#include "prob/gaussian_emission.h"
+#include "prob/rng.h"
+#include "util/bench_env.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace dhmm;
+
+constexpr size_t kStates = 20;
+
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+struct Workload {
+  hmm::HmmModel<double> model;
+  std::vector<double> obs;
+};
+
+Workload MakeWorkload(size_t frames) {
+  prob::Rng rng(frames * 2654435761ull + 17);
+  Workload w;
+  w.model = hmm::HmmModel<double>(
+      rng.DirichletSymmetric(kStates, 2.0),
+      rng.RandomStochasticMatrix(kStates, kStates, 2.0),
+      std::make_unique<prob::GaussianEmission>(
+          prob::GaussianEmission::RandomInit(kStates, rng)));
+  w.obs.resize(frames);
+  for (size_t t = 0; t < frames; ++t) w.obs[t] = rng.Gaussian(3.0, 2.0);
+  return w;
+}
+
+// In fast (CI smoke) mode shrink the frame counts so the grid stays in
+// the sub-second range; the shape of the comparison is unchanged.
+size_t ScaledFrames(int64_t arg) {
+  return static_cast<size_t>(BenchScaled(static_cast<int>(arg),
+                                         static_cast<int>(arg / 50)));
+}
+
+void BM_ForwardBackwardFull(benchmark::State& state) {
+  const size_t frames = ScaledFrames(state.range(0));
+  Workload w = MakeWorkload(frames);
+  hmm::InferenceWorkspace ws;
+  hmm::ForwardBackwardResult fb;
+  for (auto _ : state) {
+    w.model.emission->LogProbTableInto(w.obs, &ws.log_b);
+    const Status st =
+        hmm::TryForwardBackward(w.model.pi, w.model.a, ws.log_b, &ws, &fb);
+    DHMM_CHECK(st.ok());
+    benchmark::DoNotOptimize(fb.log_likelihood);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(frames));
+  state.counters["frames"] = static_cast<double>(frames);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+BENCHMARK(BM_ForwardBackwardFull)
+    ->ArgNames({"T"})
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ForwardBackwardCheckpointed(benchmark::State& state) {
+  const size_t frames = ScaledFrames(state.range(0));
+  Workload w = MakeWorkload(frames);
+  hmm::InferenceWorkspace ws;
+  linalg::Matrix xi(kStates, kStates);
+  // The gamma sink consumes each row the way the E-step does — one read
+  // per state — so the sweep cannot be optimized out.
+  struct SinkCtx {
+    double sum = 0.0;
+  } sink_ctx;
+  hmm::CheckpointedGammaSinks sinks;
+  sinks.on_gamma = [](void* ctx, size_t, const double* gamma) {
+    static_cast<SinkCtx*>(ctx)->sum += gamma[0];
+  };
+  sinks.gamma_ctx = &sink_ctx;
+  hmm::EmissionLogBRows<double> rows{w.model.emission.get(), &w.obs,
+                                     &ws.log_b_row};
+  for (auto _ : state) {
+    double log_lik = 0.0;
+    const Status st = hmm::TryForwardBackwardCheckpointed(
+        w.model.pi, w.model.a, rows.View(), /*panel_frames=*/0, &ws, sinks,
+        &xi, &log_lik);
+    DHMM_CHECK(st.ok());
+    benchmark::DoNotOptimize(log_lik);
+    benchmark::DoNotOptimize(sink_ctx.sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(frames));
+  state.counters["frames"] = static_cast<double>(frames);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+BENCHMARK(BM_ForwardBackwardCheckpointed)
+    ->ArgNames({"T"})
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// End-to-end: one full E-step (emission accumulation included) through the
+// engine with the checkpointed threshold engaged vs. disabled — the
+// training-loop view of the same trade.
+void BM_EStepLongSequence(benchmark::State& state) {
+  const size_t frames = ScaledFrames(state.range(0));
+  const bool checkpointed = state.range(1) != 0;
+  Workload w = MakeWorkload(frames);
+  hmm::Dataset<double> data(1);
+  data[0].obs = w.obs;
+  hmm::BatchEmEngine<double> engine(hmm::BatchOptions{
+      /*num_threads=*/1,
+      /*checkpoint_threshold_frames=*/checkpointed ? size_t{1} : size_t{0}});
+  hmm::EStepStats stats;
+  for (auto _ : state) {
+    std::unique_ptr<prob::EmissionModel<double>> em_acc =
+        w.model.emission->Clone();
+    stats = engine.EStep(w.model, data, em_acc.get());
+    benchmark::DoNotOptimize(stats.log_likelihood);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(frames));
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+BENCHMARK(BM_EStepLongSequence)
+    ->ArgNames({"T", "ckpt"})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

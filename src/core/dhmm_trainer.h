@@ -39,6 +39,10 @@ struct DiversifiedEmOptions {
   /// E-step worker threads (see hmm::BatchOptions::num_threads). Any value
   /// produces bitwise-identical fits; this is purely a throughput knob.
   int num_threads = 1;
+  /// Sequence length at which the E-step switches to the checkpointed
+  /// forward-backward (see hmm::BatchOptions). 0 disables.
+  size_t checkpoint_threshold_frames =
+      hmm::kDefaultCheckpointThresholdFrames;
 };
 
 /// Fit diagnostics for the diversified trainer.
@@ -104,6 +108,7 @@ DiversifiedFitResult FitDiversifiedHmm(
   em.update_pi = options.update_pi;
   em.update_emission = options.update_emission;
   em.num_threads = options.num_threads;
+  em.checkpoint_threshold_frames = options.checkpoint_threshold_frames;
   em.transition_m_step = [&](const linalg::Matrix& counts,
                              linalg::Matrix* a) {
     UpdateTransitions(*a, counts, update_opts, ws, &m_result);
@@ -113,7 +118,8 @@ DiversifiedFitResult FitDiversifiedHmm(
   // One engine for the whole outer loop: its worker pool and per-thread
   // workspaces persist across the max_iters single-step FitEm calls, so the
   // E-step stays allocation-free after the first outer iteration.
-  hmm::BatchEmEngine<Obs> engine(hmm::BatchOptions{em.num_threads});
+  hmm::BatchEmEngine<Obs> engine(
+      hmm::BatchOptions{em.num_threads, em.checkpoint_threshold_frames});
 
   DiversifiedFitResult result;
   double prev = -std::numeric_limits<double>::infinity();

@@ -62,6 +62,10 @@ struct IncrementalEmOptions {
   /// E-step worker threads for AccumulateBatch (any value produces
   /// bitwise-identical statistics; purely a throughput knob).
   int num_threads = 1;
+  /// Sequence length at which AccumulateBatch switches to the checkpointed
+  /// forward-backward (see hmm::BatchOptions). 0 disables.
+  size_t checkpoint_threshold_frames =
+      hmm::kDefaultCheckpointThresholdFrames;
   /// StepReady() gate: frames to accumulate before a Step is suggested.
   /// 0 means the caller paces Steps manually.
   uint64_t min_frames_per_step = 0;
@@ -91,7 +95,8 @@ class IncrementalEmTrainer {
       std::shared_ptr<const hmm::HmmModel<Obs>> init,
       const IncrementalEmOptions& options = {})
       : options_(options),
-        engine_(hmm::BatchOptions{options.num_threads}),
+        engine_(hmm::BatchOptions{options.num_threads,
+                                  options.checkpoint_threshold_frames}),
         snapshot_(std::move(init)),
         model_(*snapshot_) {
     const Status opt_st = options.Validate();

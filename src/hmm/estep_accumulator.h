@@ -79,6 +79,24 @@ struct EStepAccumulator {
     ++sequences;
   }
 
+  /// \brief Checkpointed-sweep counterpart of AddSequence: the chain
+  /// statistics arrive as scalars and rows (the T x k gamma never exists)
+  /// but land in the same per-sequence order — log-likelihood, then
+  /// gamma(0, .), then xi_sum — so batches mixing checkpointed and full
+  /// sequences keep the bitwise-stable reduction. The per-frame emission
+  /// feed happens inside the sweep's ascending replay
+  /// (BatchEmEngine::AddCheckpointed); emission statistics live in a
+  /// separate accumulator, so that interleaving is bitwise-neutral.
+  void AddSequenceStats(double seq_log_likelihood, const double* gamma0,
+                        const linalg::Matrix& xi_sum, uint64_t seq_frames) {
+    const size_t k = pi_acc.size();
+    log_likelihood += seq_log_likelihood;
+    for (size_t i = 0; i < k; ++i) pi_acc[i] += gamma0[i];
+    trans_acc += xi_sum;
+    frames += seq_frames;
+    ++sequences;
+  }
+
   /// \brief Adds one live-stream frame's smoothed posterior gamma (length
   /// k, normalized — serve/stream_math.h leaves exactly this in its gamma
   /// scratch row). Pi statistics accumulate only from each stream's first

@@ -96,6 +96,14 @@ bool GammaRow(const double* alpha_row, const double* beta_row, size_t k,
   return true;
 }
 
+// Smallest s with s * s >= n (panel width for the checkpointed sweep).
+size_t CeilSqrt(size_t n) {
+  size_t s = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  while (s * s < n) ++s;
+  while (s > 1 && (s - 1) * (s - 1) >= n) --s;
+  return s;
+}
+
 }  // namespace
 
 Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
@@ -205,13 +213,254 @@ ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
   return out;
 }
 
+LogBRows MatrixLogBRows(const linalg::Matrix& log_b) {
+  LogBRows rows;
+  rows.row = [](void* ctx, size_t t) -> const double* {
+    return static_cast<const linalg::Matrix*>(ctx)->row_data(t);
+  };
+  rows.ctx = const_cast<linalg::Matrix*>(&log_b);
+  rows.frames = log_b.rows();
+  rows.states = log_b.cols();
+  return rows;
+}
+
+Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const LogBRows& log_b,
+                                      size_t panel_frames,
+                                      InferenceWorkspace* ws,
+                                      const CheckpointedGammaSinks& sinks,
+                                      linalg::Matrix* xi_sum,
+                                      double* log_likelihood) {
+  const size_t k = pi.size();
+  const size_t big_t = log_b.frames;
+  DHMM_CHECK(ws != nullptr && xi_sum != nullptr && log_likelihood != nullptr);
+  DHMM_CHECK(log_b.row != nullptr && sinks.on_gamma != nullptr);
+  DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.states == k);
+  DHMM_CHECK_MSG(big_t > 0, "empty sequence");
+
+  size_t panel = panel_frames == 0 ? CeilSqrt(big_t) : panel_frames;
+  if (panel > big_t) panel = big_t;
+  const size_t num_panels = (big_t + panel - 1) / panel;
+
+  xi_sum->Resize(k, k);
+  xi_sum->Fill(0.0);
+  ws->cp_alpha.Resize(num_panels, k);
+  ws->panel_alpha.Resize(panel, k);
+  ws->panel_btilde.Resize(panel + 1, k);
+  ws->cp_scale.Resize(big_t);
+  ws->frame_u.Resize(k);
+  ws->cp_beta_next.Resize(k);
+  ws->cp_beta_cur.Resize(k);
+  ws->cp_gamma.Resize(k);
+  ws->alpha.Resize(k);
+  ws->alpha_next.Resize(k);
+  ws->frame.Resize(k);
+  linalg::Vector& scale = ws->cp_scale;
+  const linalg::Matrix& a_t = ws->transition.Transpose(a);
+
+  // ---- Pass 1: forward, keeping one scaled alpha row per panel plus all T
+  // scale factors. The kernel-call sequence per frame is exactly the full
+  // path's forward loop; only the destinations differ (ping-pong k-vectors
+  // instead of a T x k table), so every retained row is bitwise equal to
+  // the full path's corresponding alpha_hat row.
+  {
+    double loglik = 0.0;
+    double* prev = ws->alpha.data();
+    double* cur = ws->alpha_next.data();
+    double* bt = ws->frame.data();
+    for (size_t t = 0; t < big_t; ++t) {
+      const double m = klib::ExpShiftRow(log_b.row(log_b.ctx, t), k, bt);
+      if (m == prob::kNegInf) {
+        return Status::InvalidArgument(
+            FrameError("zero emission probability in every state", t));
+      }
+      if (t == 0) {
+        klib::MulRowInto(pi.data(), bt, k, cur);
+      } else {
+        klib::MatVecColMul(a_t.data(), prev, bt, k, k, cur);
+      }
+      const double c = klib::SumRow(cur, k);
+      if (!(c > 0.0)) {
+        return Status::InvalidArgument(
+            FrameError("forward message vanished", t));
+      }
+      klib::ScaleRow(cur, k, 1.0 / c);
+      scale[t] = c;
+      loglik += std::log(c) + m;
+      if (t % panel == 0) {
+        std::memcpy(ws->cp_alpha.row_data(t / panel), cur,
+                    k * sizeof(double));
+      }
+      std::swap(prev, cur);
+    }
+    *log_likelihood = loglik;
+  }
+
+  // Refills panel_btilde for frames [t0, hi] (inclusive — a panel's backward
+  // step also reads btilde(t1)) and replays the panel's alpha rows [t0, t1)
+  // from the stored checkpoint. Recomputation feeds the identical input bits
+  // through the identical deterministic kernels, so the replayed rows equal
+  // the full path's bit for bit. Pass 1 already vetted every frame, but the
+  // emissions come back through the provider, so the checks stay.
+  auto replay_panel = [&](size_t p, size_t t0, size_t t1,
+                          size_t hi) -> Status {
+    for (size_t t = t0; t <= hi; ++t) {
+      const double m = klib::ExpShiftRow(log_b.row(log_b.ctx, t), k,
+                                         ws->panel_btilde.row_data(t - t0));
+      if (m == prob::kNegInf) {
+        return Status::InvalidArgument(
+            FrameError("zero emission probability in every state", t));
+      }
+    }
+    std::memcpy(ws->panel_alpha.row_data(0), ws->cp_alpha.row_data(p),
+                k * sizeof(double));
+    for (size_t t = t0 + 1; t < t1; ++t) {
+      double* row = ws->panel_alpha.row_data(t - t0);
+      klib::MatVecColMul(a_t.data(), ws->panel_alpha.row_data(t - 1 - t0),
+                         ws->panel_btilde.row_data(t - t0), k, k, row);
+      const double c = klib::SumRow(row, k);
+      if (!(c > 0.0)) {
+        return Status::InvalidArgument(
+            FrameError("forward message vanished", t));
+      }
+      klib::ScaleRow(row, k, 1.0 / c);
+    }
+    return Status::OK();
+  };
+
+  // ---- Pass 2: fused backward / gamma / xi sweep over panels in
+  // descending order. Per frame this runs the exact kernel calls of the
+  // full path's fused sweep — u = btilde(t+1) * beta(t+1) / c_{t+1}, then
+  // the row-dots and xi row-axpys — and xi accumulates in the same globally
+  // descending t order, so xi_sum matches the full path bitwise.
+  const bool want_ascending = sinks.on_gamma_ascending != nullptr;
+  if (want_ascending) ws->cp_beta.Resize(num_panels, k);
+  double* beta_next = ws->cp_beta_next.data();  // beta_hat(f + 1) carry
+  double* beta_cur = ws->cp_beta_cur.data();
+  double* gamma_row = ws->cp_gamma.data();
+  double* u = ws->frame_u.data();
+  for (size_t p = num_panels; p-- > 0;) {
+    const size_t t0 = p * panel;
+    const size_t t1 = std::min(big_t, t0 + panel);
+    const size_t hi = std::min(t1, big_t - 1);
+    DHMM_RETURN_NOT_OK(replay_panel(p, t0, t1, hi));
+    size_t f = t1;  // next frame processed by the descent is f - 1
+    if (p + 1 == num_panels) {
+      // Backward base case, exactly as the full path: beta(T-1) = 1.
+      for (size_t i = 0; i < k; ++i) beta_next[i] = 1.0;
+      if (!GammaRow(ws->panel_alpha.row_data(big_t - 1 - t0), beta_next, k,
+                    gamma_row)) {
+        return Status::InvalidArgument(
+            FrameError("posterior mass vanished", big_t - 1));
+      }
+      sinks.on_gamma(sinks.gamma_ctx, big_t - 1, gamma_row);
+      f = big_t - 1;
+    }
+    while (f-- > t0) {
+      klib::MulRowScaledInto(ws->panel_btilde.row_data(f + 1 - t0),
+                             beta_next, 1.0 / scale[f + 1], k, u);
+      const double* alpha_row = ws->panel_alpha.row_data(f - t0);
+      for (size_t i = 0; i < k; ++i) {
+        const double* a_row = a.row_data(i);
+        beta_cur[i] = klib::Dot(a_row, u, k);
+        const double ai = alpha_row[i];
+        if (ai != 0.0) {
+          klib::AxpyMulRow(ai, a_row, u, k, xi_sum->row_data(i));
+        }
+      }
+      if (!GammaRow(alpha_row, beta_cur, k, gamma_row)) {
+        return Status::InvalidArgument(
+            FrameError("posterior mass vanished", f));
+      }
+      sinks.on_gamma(sinks.gamma_ctx, f, gamma_row);
+      std::swap(beta_cur, beta_next);  // beta_next now holds beta_hat(f)
+    }
+    // beta_next left holding beta_hat(t0): the seed row the ascending
+    // replay needs to rebuild this panel's betas without a second sweep.
+    if (want_ascending) {
+      std::memcpy(ws->cp_beta.row_data(p), beta_next, k * sizeof(double));
+    }
+  }
+
+  // ---- Pass 3 (optional): ascending gamma replay for consumers whose
+  // accumulation order matters bitwise (the E-step feeds emission
+  // sufficient statistics in ascending frame order). Both message panels
+  // replay from their stored seed rows through the pass-2 kernel calls, so
+  // the gamma rows equal the descending pass bit for bit.
+  if (want_ascending) {
+    ws->panel_beta.Resize(panel, k);
+    for (size_t p = 0; p < num_panels; ++p) {
+      const size_t t0 = p * panel;
+      const size_t t1 = std::min(big_t, t0 + panel);
+      const size_t hi = std::min(t1, big_t - 1);
+      DHMM_RETURN_NOT_OK(replay_panel(p, t0, t1, hi));
+      size_t f = t1;
+      const double* seed = nullptr;  // beta_hat(t1) for non-final panels
+      if (p + 1 == num_panels) {
+        double* last = ws->panel_beta.row_data(t1 - 1 - t0);
+        for (size_t i = 0; i < k; ++i) last[i] = 1.0;
+        f = t1 - 1;
+      } else {
+        seed = ws->cp_beta.row_data(p + 1);
+      }
+      while (f-- > t0) {
+        const double* beta_up =
+            (f + 1 == t1) ? seed : ws->panel_beta.row_data(f + 1 - t0);
+        klib::MulRowScaledInto(ws->panel_btilde.row_data(f + 1 - t0),
+                               beta_up, 1.0 / scale[f + 1], k, u);
+        double* beta_row = ws->panel_beta.row_data(f - t0);
+        for (size_t i = 0; i < k; ++i) {
+          beta_row[i] = klib::Dot(a.row_data(i), u, k);
+        }
+      }
+      for (size_t t = t0; t < t1; ++t) {
+        if (!GammaRow(ws->panel_alpha.row_data(t - t0),
+                      ws->panel_beta.row_data(t - t0), k, gamma_row)) {
+          return Status::InvalidArgument(
+              FrameError("posterior mass vanished", t));
+        }
+        sinks.on_gamma_ascending(sinks.ascending_ctx, t, gamma_row);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const linalg::Matrix& log_b,
+                                      size_t panel_frames,
+                                      InferenceWorkspace* ws,
+                                      ForwardBackwardResult* out) {
+  DHMM_CHECK(out != nullptr);
+  out->gamma.Resize(log_b.rows(), log_b.cols());
+  CheckpointedGammaSinks sinks;
+  sinks.on_gamma = [](void* ctx, size_t t, const double* row) {
+    auto* gamma = static_cast<linalg::Matrix*>(ctx);
+    std::memcpy(gamma->row_data(t), row, gamma->cols() * sizeof(double));
+  };
+  sinks.gamma_ctx = &out->gamma;
+  return TryForwardBackwardCheckpointed(pi, a, MatrixLogBRows(log_b),
+                                        panel_frames, ws, sinks,
+                                        &out->xi_sum, &out->log_likelihood);
+}
+
 Status TryLogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
                         const linalg::Matrix& log_b, InferenceWorkspace* ws,
                         double* out) {
+  // Same per-frame kernel-call sequence either way, so delegating to the
+  // rows form is bitwise-neutral.
+  return TryLogLikelihoodRows(pi, a, MatrixLogBRows(log_b), ws, out);
+}
+
+Status TryLogLikelihoodRows(const linalg::Vector& pi, const linalg::Matrix& a,
+                            const LogBRows& log_b, InferenceWorkspace* ws,
+                            double* out) {
   const size_t k = pi.size();
-  const size_t big_t = log_b.rows();
-  DHMM_CHECK(ws != nullptr && out != nullptr);
-  DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.cols() == k);
+  const size_t big_t = log_b.frames;
+  DHMM_CHECK(ws != nullptr && out != nullptr && log_b.row != nullptr);
+  DHMM_CHECK(a.rows() == k && a.cols() == k && log_b.states == k);
   DHMM_CHECK(big_t > 0);
   ws->alpha.Resize(k);
   ws->alpha_next.Resize(k);
@@ -224,7 +473,7 @@ Status TryLogLikelihood(const linalg::Vector& pi, const linalg::Matrix& a,
   // One frame of shifted emissions at a time: the forward-only pass never
   // revisits a frame, so a full T x k cache would be wasted work.
   auto shifted = [&](size_t t) {
-    return klib::ExpShiftRow(log_b.row_data(t), k, btilde);
+    return klib::ExpShiftRow(log_b.row(log_b.ctx, t), k, btilde);
   };
 
   double loglik = 0.0;

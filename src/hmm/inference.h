@@ -111,6 +111,66 @@ struct InferenceWorkspace {
   // Cached per-sequence emission table, filled by callers that own the
   // emission model (e.g. the batched EM engine via LogProbTableInto).
   linalg::Matrix log_b;      ///< T x k
+
+  // Checkpointed forward-backward scratch (TryForwardBackwardCheckpointed):
+  // everything here is O(sqrt(T) * k) or O(T) scalars, never O(T * k).
+  linalg::Matrix cp_alpha;      ///< ceil(T/S) x k alpha checkpoints
+  linalg::Matrix cp_beta;       ///< ceil(T/S) x k beta rows at panel starts
+  linalg::Matrix panel_alpha;   ///< S x k replayed alpha panel
+  linalg::Matrix panel_beta;    ///< S x k replayed beta panel
+  linalg::Matrix panel_btilde;  ///< (S+1) x k shifted-emission panel
+  linalg::Vector cp_scale;      ///< T forward normalizers c_t
+  linalg::Vector cp_beta_next;  ///< k carried beta row across panels
+  linalg::Vector cp_beta_cur;   ///< k beta row under construction
+  linalg::Vector cp_gamma;      ///< k gamma staging row for the sinks
+  linalg::Matrix cp_xi;         ///< k x k xi staging (rows-based decode)
+  linalg::Vector log_b_row;     ///< k emission-row staging for LogBRows
+};
+
+/// \brief Sequence length at which callers that auto-select (the EM engine,
+/// the decode service, FitEm) switch from the full-matrix forward-backward
+/// to the checkpointed one. Below this a full T x k workspace is at most a
+/// few MB and the full path's single sweep is cheaper; above it the
+/// checkpointed path caps workspace memory at O(sqrt(T) * k) for ~2x the
+/// frame work. 0 disables checkpointing entirely.
+inline constexpr size_t kDefaultCheckpointThresholdFrames = 65536;
+
+/// \brief Row provider for emission log-probabilities: the checkpointed
+/// routines pull one frame at a time through `row(ctx, t)` instead of
+/// requiring a materialized T x k matrix, so a caller that owns an emission
+/// model can run inference on a million-frame sequence without ever building
+/// the table. The returned pointer must stay valid until the next `row`
+/// call on the same provider. Plain function pointer + context (capture-less
+/// lambdas convert) so providers are POD and copyable.
+struct LogBRows {
+  const double* (*row)(void* ctx, size_t t) = nullptr;
+  void* ctx = nullptr;
+  size_t frames = 0;  ///< T
+  size_t states = 0;  ///< k
+};
+
+/// \brief Adapts a materialized T x k log-emission matrix to the LogBRows
+/// interface (zero-copy: rows come straight out of the matrix).
+LogBRows MatrixLogBRows(const linalg::Matrix& log_b);
+
+/// \brief Gamma-row consumers for the checkpointed sweep. The checkpointed
+/// pass cannot hand back a T x k gamma matrix without defeating its own
+/// memory bound, so posteriors stream out row by row instead.
+///
+/// `on_gamma` is required and fires once per frame in DESCENDING t order —
+/// the natural order of the backward sweep (this matches the full path's
+/// fill order of out->gamma, so any per-frame consumer sees identical bits).
+/// `on_gamma_ascending`, when set, triggers a third pass that replays both
+/// message panels and fires once per frame in ASCENDING t order — for
+/// consumers whose accumulation order matters bitwise (the E-step's
+/// emission sufficient statistics accumulate ascending). Rows passed to the
+/// callbacks are valid only for the duration of the call.
+struct CheckpointedGammaSinks {
+  void (*on_gamma)(void* ctx, size_t t, const double* gamma_row) = nullptr;
+  void* gamma_ctx = nullptr;
+  void (*on_gamma_ascending)(void* ctx, size_t t,
+                             const double* gamma_row) = nullptr;
+  void* ascending_ctx = nullptr;
 };
 
 /// \brief Posterior marginals produced by one forward-backward pass.
@@ -164,6 +224,49 @@ void ForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
 ForwardBackwardResult ForwardBackward(const linalg::Vector& pi,
                                       const linalg::Matrix& a,
                                       const linalg::Matrix& log_b);
+
+/// \brief Checkpointed forward-backward: identical math and **bitwise
+/// identical results** to TryForwardBackward, with workspace memory
+/// O(sqrt(T) * k + T) instead of O(T * k).
+///
+/// The forward pass stores only every S-th scaled alpha row (S =
+/// `panel_frames`, defaulting to ceil(sqrt(T)) when 0) plus the T scale
+/// factors; the backward/gamma/xi sweep then walks panels in descending
+/// order, replaying each panel's alpha rows from its checkpoint through the
+/// exact kernel-call sequence of the full path — recomputation from
+/// identical input bits through identical deterministic kernels yields
+/// identical output bits, so gamma, xi_sum and the log-likelihood match the
+/// full path exactly. xi accumulates in descending t order, same as the
+/// full path's fused sweep. Error contract of TryForwardBackward
+/// (InvalidArgument naming the frame).
+///
+/// Costs ~2x the frame work of the full path (forward runs twice), plus
+/// another ~1.5x when `sinks.on_gamma_ascending` is set (betas replay too).
+Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const LogBRows& log_b,
+                                      size_t panel_frames,
+                                      InferenceWorkspace* ws,
+                                      const CheckpointedGammaSinks& sinks,
+                                      linalg::Matrix* xi_sum,
+                                      double* log_likelihood);
+
+/// \brief Materializing convenience over the checkpointed core: fills a
+/// full ForwardBackwardResult (gamma included) from a T x k matrix. Only
+/// sensible for tests and small T — it reintroduces the O(T * k) gamma —
+/// but it is the workhorse of the bitwise-equality grid.
+Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
+                                      const linalg::Matrix& a,
+                                      const linalg::Matrix& log_b,
+                                      size_t panel_frames,
+                                      InferenceWorkspace* ws,
+                                      ForwardBackwardResult* out);
+
+/// \brief Forward-only log-likelihood over a LogBRows provider — bitwise
+/// identical to TryLogLikelihood on a materialized table, O(k) workspace.
+Status TryLogLikelihoodRows(const linalg::Vector& pi, const linalg::Matrix& a,
+                            const LogBRows& log_b, InferenceWorkspace* ws,
+                            double* out);
 
 /// \brief log P(Y | lambda) only (forward pass) — canonical non-aborting
 /// form; error contract of TryForwardBackward.

@@ -21,6 +21,50 @@ Status TryPosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
   return Status::OK();
 }
 
+Status TryPosteriorDecodeRows(const linalg::Vector& pi,
+                              const linalg::Matrix& a, const LogBRows& log_b,
+                              size_t panel_frames, InferenceWorkspace* ws,
+                              double* log_lik, std::vector<int>* path) {
+  DHMM_CHECK(path != nullptr && log_lik != nullptr);
+  path->resize(log_b.frames);
+  struct Ctx {
+    std::vector<int>* path;
+    size_t k;
+  } ctx{path, log_b.states};
+  CheckpointedGammaSinks sinks;
+  // Argmax per gamma row as the backward sweep emits it (descending t; the
+  // per-frame argmax is order-independent). Lowest index wins ties, same
+  // as ArgMaxRow over the materialized gamma.
+  sinks.on_gamma = [](void* c, size_t t, const double* gamma_row) {
+    auto* s = static_cast<Ctx*>(c);
+    (*s->path)[t] =
+        static_cast<int>(linalg::kernels::ArgMaxRow(gamma_row, s->k));
+  };
+  sinks.gamma_ctx = &ctx;
+  return TryForwardBackwardCheckpointed(pi, a, log_b, panel_frames, ws,
+                                        sinks, &ws->cp_xi, log_lik);
+}
+
+Status TryPosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
+                          const linalg::Matrix& log_b,
+                          size_t checkpoint_threshold_frames,
+                          InferenceWorkspace* ws, ForwardBackwardResult* fb,
+                          std::vector<int>* path) {
+  const size_t big_t = log_b.rows();
+  if (checkpoint_threshold_frames == 0 ||
+      big_t < checkpoint_threshold_frames) {
+    return TryPosteriorDecode(pi, a, log_b, ws, fb, path);
+  }
+  double log_lik = 0.0;
+  DHMM_RETURN_NOT_OK(TryPosteriorDecodeRows(pi, a, MatrixLogBRows(log_b),
+                                            /*panel_frames=*/0, ws, &log_lik,
+                                            path));
+  fb->log_likelihood = log_lik;
+  fb->xi_sum = ws->cp_xi;
+  fb->gamma.Resize(0, 0);
+  return Status::OK();
+}
+
 void PosteriorDecode(const linalg::Vector& pi, const linalg::Matrix& a,
                      const linalg::Matrix& log_b, InferenceWorkspace* ws,
                      ForwardBackwardResult* fb, std::vector<int>* path) {

@@ -29,6 +29,7 @@
 #include "prob/categorical_emission.h"
 #include "prob/gaussian_emission.h"
 #include "prob/gmm_emission.h"
+#include "util/fsio.h"
 #include "util/status.h"
 
 namespace dhmm::hmm {
@@ -177,20 +178,12 @@ Result<HmmModel<Obs>> LoadHmm(std::istream& is) {
 
 namespace internal {
 
-/// fsyncs a path (file or directory) where the platform supports it, so
-/// the rename-based save below is durable across power loss, not just
-/// process crashes. Best-effort on platforms without POSIX fsync.
+/// fsyncs a path (file or directory) so the rename-based save below is
+/// durable across power loss, not just process crashes. Thin alias for
+/// util::SyncPathToDisk (util/fsio.h), the helper shared with the binary
+/// model store's writer; kept for source compatibility.
 inline Status SyncPathToDisk(const std::string& path) {
-#if defined(__unix__) || defined(__APPLE__)
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IOError("fsync failed: " + path);
-#else
-  (void)path;
-#endif
-  return Status::OK();
+  return util::SyncPathToDisk(path);
 }
 
 }  // namespace internal
@@ -235,10 +228,7 @@ Status SaveHmmToFile(const HmmModel<Obs>& model, const std::string& path) {
   // effort only — the checkpoint is already complete at `path`, and some
   // filesystems (FUSE/network mounts) reject directory fsync; failing the
   // whole save here would report a written checkpoint as missing.
-  const size_t slash = path.find_last_of('/');
-  internal::SyncPathToDisk(slash == std::string::npos
-                               ? std::string(".")
-                               : path.substr(0, slash + 1));
+  util::SyncParentDir(path);
   return Status::OK();
 }
 

@@ -46,6 +46,10 @@ struct EmOptions {
   /// E-step worker threads (see BatchOptions::num_threads). Any value
   /// produces bitwise-identical fits; this is purely a throughput knob.
   int num_threads = 1;
+  /// Sequence length at which the E-step switches to the checkpointed
+  /// forward-backward (see BatchOptions::checkpoint_threshold_frames).
+  /// Bitwise-identical fits either way; 0 disables.
+  size_t checkpoint_threshold_frames = kDefaultCheckpointThresholdFrames;
 };
 
 /// Outcome of an EM fit.
@@ -120,7 +124,8 @@ EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
 template <typename Obs>
 EmResult FitEm(HmmModel<Obs>* model, const Dataset<Obs>& data,
                const EmOptions& options = {}) {
-  BatchEmEngine<Obs> engine(BatchOptions{options.num_threads});
+  BatchEmEngine<Obs> engine(
+      BatchOptions{options.num_threads, options.checkpoint_threshold_frames});
   return FitEm(model, data, options, &engine);
 }
 

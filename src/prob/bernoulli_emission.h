@@ -47,6 +47,8 @@ class BernoulliEmission : public EmissionModel<BinaryObs> {
 
   /// Pixel-on probability table (k x D).
   const linalg::Matrix& p() const { return p_; }
+  /// M-step probability floor (binary store round-trips it).
+  double p_floor() const { return p_floor_; }
 
  private:
   void Clamp();

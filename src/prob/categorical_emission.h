@@ -44,6 +44,8 @@ class CategoricalEmission : public EmissionModel<int> {
 
   /// The k x V probability table.
   const linalg::Matrix& b() const { return b_; }
+  /// Additive smoothing used by the M-step (binary store round-trips it).
+  double pseudo_count() const { return pseudo_count_; }
 
  private:
   void RebuildLogTable();

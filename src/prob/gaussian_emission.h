@@ -44,6 +44,8 @@ class GaussianEmission : public EmissionModel<double> {
 
   const linalg::Vector& mu() const { return mu_; }
   const linalg::Vector& sigma() const { return sigma_; }
+  /// M-step variance floor (binary store round-trips it).
+  double sigma_floor() const { return sigma_floor_; }
 
  private:
   linalg::Vector mu_;

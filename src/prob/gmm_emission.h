@@ -46,6 +46,8 @@ class GmmEmission : public EmissionModel<double> {
   const linalg::Matrix& weights() const { return weights_; }
   const linalg::Matrix& mu() const { return mu_; }
   const linalg::Matrix& sigma() const { return sigma_; }
+  /// M-step variance floor (binary store round-trips it).
+  double sigma_floor() const { return sigma_floor_; }
 
  private:
   /// Per-component log densities for state i at y (size M).

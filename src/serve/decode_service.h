@@ -42,11 +42,13 @@
 #include <utility>
 #include <vector>
 
+#include "hmm/emission_rows.h"
 #include "hmm/inference.h"
 #include "hmm/model.h"
 #include "hmm/posterior_decoding.h"
 #include "hmm/serialization.h"
 #include "serve/request.h"
+#include "store/dual_slot.h"
 #include "util/check.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -70,6 +72,12 @@ struct DecodeServiceOptions {
   /// lower tail latency under mixed traffic, larger batches amortize
   /// dispatch overhead.
   size_t max_batch = 64;
+  /// Posterior-decode / log-likelihood requests of at least this many
+  /// frames run the checkpointed sweep (O(sqrt(T) * k) workspace instead
+  /// of the T x k emission table); 0 disables. Results are bitwise
+  /// identical either way. Viterbi always uses the full table — its
+  /// backtrack needs all T argmax rows regardless.
+  size_t checkpoint_threshold_frames = hmm::kDefaultCheckpointThresholdFrames;
 
   /// A config error (absurd thread count) surfaces here, before the
   /// service spins up threads on it.
@@ -259,10 +267,13 @@ class DecodeService {
     ++model_version_;
   }
 
-  /// \brief Loads a checkpoint written by SaveHmmToFile and hot-swaps it
-  /// in. On failure the current model keeps serving.
+  /// \brief Loads a checkpoint and hot-swaps it in: a binary store file or
+  /// dual-slot directory (store/dual_slot.h) is CRC-verified and mmap-read
+  /// with no text parse; anything else falls back to the SaveHmmToFile
+  /// text format. On any failure — including a corrupt store slot — the
+  /// current model keeps serving, bitwise unchanged.
   Status ReloadModel(const std::string& path) {
-    Result<hmm::HmmModel<Obs>> loaded = hmm::LoadHmmFromFile<Obs>(path);
+    Result<hmm::HmmModel<Obs>> loaded = store::LoadAnyModel<Obs>(path);
     if (!loaded.ok()) return loaded.status();
     UpdateModel(std::make_shared<const hmm::HmmModel<Obs>>(
         std::move(loaded).value()));
@@ -378,7 +389,21 @@ class DecodeService {
       r.status = Status::InvalidArgument("empty observation sequence");
       return;
     }
-    m.emission->LogProbTableInto(*slot->obs, &w.ws.log_b);
+    // Long posterior / log-likelihood requests take the checkpointed
+    // sweep: emission log-probs are produced row-at-a-time on demand, so
+    // the T x k table is never materialized (Viterbi's backtrack needs the
+    // full table and is excluded). Paths and values stay bitwise identical
+    // to the full path — tests/serve_test.cc pins the service against the
+    // offline decoders either way.
+    const size_t threshold = options_.checkpoint_threshold_frames;
+    const bool checkpointed = threshold != 0 &&
+                              slot->obs->size() >= threshold &&
+                              slot->kind != DecodeKind::kViterbi;
+    if (!checkpointed) {
+      m.emission->LogProbTableInto(*slot->obs, &w.ws.log_b);
+    }
+    hmm::EmissionLogBRows<Obs> rows{m.emission.get(), slot->obs,
+                                    &w.ws.log_b_row};
     // Everything below goes through the non-aborting Try* inference forms:
     // an impossible sequence (zero-probability frame, chain-unreachable
     // frame, scaled-emission underflow) is a per-request InvalidArgument,
@@ -393,13 +418,24 @@ class DecodeService {
         }
         break;
       case DecodeKind::kPosterior:
-        r.status = hmm::TryPosteriorDecode(m.pi, m.a, w.ws.log_b, &w.ws,
-                                           &w.fb, &r.path);
-        if (r.status.ok()) r.value = w.fb.log_likelihood;
+        if (checkpointed) {
+          r.status = hmm::TryPosteriorDecodeRows(m.pi, m.a, rows.View(),
+                                                 /*panel_frames=*/0, &w.ws,
+                                                 &r.value, &r.path);
+        } else {
+          r.status = hmm::TryPosteriorDecode(m.pi, m.a, w.ws.log_b, &w.ws,
+                                             &w.fb, &r.path);
+          if (r.status.ok()) r.value = w.fb.log_likelihood;
+        }
         break;
       case DecodeKind::kLogLikelihood:
-        r.status =
-            hmm::TryLogLikelihood(m.pi, m.a, w.ws.log_b, &w.ws, &r.value);
+        if (checkpointed) {
+          r.status = hmm::TryLogLikelihoodRows(m.pi, m.a, rows.View(), &w.ws,
+                                               &r.value);
+        } else {
+          r.status =
+              hmm::TryLogLikelihood(m.pi, m.a, w.ws.log_b, &w.ws, &r.value);
+        }
         break;
       case DecodeKind::kSessionPush:
         // Session pushes carry per-stream state; they route to

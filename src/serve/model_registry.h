@@ -14,10 +14,13 @@
 // registry never touches the numeric path (tests/frontend_test.cc pins it
 // over the wire for multiple registered models).
 //
-// Hot-reload error contract: a failed LoadHmmFromFile during ReloadModel
-// leaves the previous snapshot serving and surfaces the Status to the
-// caller. Combined with SaveHmmToFile's atomic tmp+fsync+rename, a torn or
-// half-written checkpoint can never replace a live model.
+// Hot-reload error contract: a failed load during ReloadModel leaves the
+// previous snapshot serving and surfaces the Status to the caller.
+// Checkpoint paths route through store::LoadAnyModel — a binary store file
+// or dual-slot directory is CRC-verified and mmap-read with no text parse;
+// anything else is the SaveHmmToFile text format. Combined with atomic
+// tmp+fsync+rename saves and per-section checksums, a torn, half-written,
+// or bit-flipped checkpoint can never replace a live model.
 //
 // Acquire() is the request path: a mutex-guarded map lookup, an LRU tick
 // bump, and a shared_ptr copy — no allocation. Holders keep the service
@@ -37,6 +40,7 @@
 #include "hmm/serialization.h"
 #include "serve/decode_service.h"
 #include "serve/request.h"
+#include "store/dual_slot.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -101,12 +105,13 @@ class ModelRegistry {
     return Status::OK();
   }
 
-  /// \brief Registers a model from a SaveHmmToFile checkpoint. The path is
-  /// remembered: ReloadModel(id) re-reads it, and an LRU-evicted model is
-  /// transparently cold-loaded from it on the next Acquire.
+  /// \brief Registers a model from a checkpoint — a binary store file,
+  /// dual-slot directory, or text save (store::LoadAnyModel routing). The
+  /// path is remembered: ReloadModel(id) re-reads it, and an LRU-evicted
+  /// model is transparently cold-loaded from it on the next Acquire.
   Status RegisterFromFile(ModelId id, const std::string& path,
                           bool pinned = false) {
-    Result<hmm::HmmModel<Obs>> loaded = hmm::LoadHmmFromFile<Obs>(path);
+    Result<hmm::HmmModel<Obs>> loaded = store::LoadAnyModel<Obs>(path);
     if (!loaded.ok()) return loaded.status();
     DHMM_RETURN_NOT_OK(Register(
         id,
@@ -151,7 +156,7 @@ class ModelRegistry {
       std::lock_guard<std::mutex> lock(mu_);
       if (entries_.find(id) == entries_.end()) return UnknownModel(id);
     }
-    Result<hmm::HmmModel<Obs>> loaded = hmm::LoadHmmFromFile<Obs>(path);
+    Result<hmm::HmmModel<Obs>> loaded = store::LoadAnyModel<Obs>(path);
     if (!loaded.ok()) return loaded.status();
     DHMM_RETURN_NOT_OK(UpdateModel(
         id, std::make_shared<const hmm::HmmModel<Obs>>(
@@ -192,7 +197,7 @@ class ModelRegistry {
         return Status::Unavailable(
             "model evicted with no checkpoint path: " + std::to_string(id));
       }
-      Result<hmm::HmmModel<Obs>> loaded = hmm::LoadHmmFromFile<Obs>(e.path);
+      Result<hmm::HmmModel<Obs>> loaded = store::LoadAnyModel<Obs>(e.path);
       if (!loaded.ok()) return loaded.status();
       e.service = std::make_shared<DecodeService<Obs>>(
           std::make_shared<const hmm::HmmModel<Obs>>(

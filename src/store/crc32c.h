@@ -1,0 +1,24 @@
+// CRC-32C (Castagnoli) — the per-section integrity checksum of the binary
+// model store.
+//
+// Castagnoli rather than the zlib polynomial because it is the checksum of
+// choice for storage formats (iSCSI, ext4 metadata, LevelDB tables): better
+// burst-error detection at these block sizes, and hardware-accelerated on
+// most targets should a SIMD PR want to swap the implementation (the
+// polynomial, not the implementation, is the format contract).
+#ifndef DHMM_STORE_CRC32C_H_
+#define DHMM_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dhmm::store {
+
+/// \brief CRC-32C of `size` bytes at `data`, continuing from `seed` (pass 0
+/// or a previous return value to chain blocks). Deterministic, byte-order
+/// independent, no allocation.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace dhmm::store
+
+#endif  // DHMM_STORE_CRC32C_H_

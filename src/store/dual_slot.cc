@@ -1,0 +1,142 @@
+#include "store/dual_slot.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "store/crc32c.h"
+#include "util/fsio.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
+
+namespace dhmm::store {
+
+namespace {
+
+constexpr const char* kSlotFileName[2] = {"slot_a.dhmms", "slot_b.dhmms"};
+constexpr const char* kManifestFileName = "MANIFEST";
+
+void StoreU32(unsigned char* p, uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void StoreU64(unsigned char* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t LoadU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t LoadU64(const unsigned char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+/// Best-effort manifest read. Any defect — missing file, short read, bad
+/// magic/version/CRC, out-of-range slot — returns false: the manifest is
+/// only a tie-breaking hint and Open() re-derives truth from the slots.
+bool ReadManifestHint(const std::string& path, int* active, uint64_t* seq) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  unsigned char buf[kSlotManifestBytes];
+  is.read(reinterpret_cast<char*>(buf), sizeof(buf));
+  if (static_cast<size_t>(is.gcount()) != sizeof(buf)) return false;
+  if (std::memcmp(buf, kSlotManifestMagic, sizeof(kSlotManifestMagic)) != 0) {
+    return false;
+  }
+  if (LoadU32(buf + 8) != kSlotManifestVersion) return false;
+  if (LoadU32(buf + 24) != Crc32c(buf, 24)) return false;
+  const uint32_t slot = LoadU32(buf + 12);
+  if (slot > 1) return false;
+  *active = static_cast<int>(slot);
+  *seq = LoadU64(buf + 16);
+  return true;
+}
+
+}  // namespace
+
+bool IsDirectory(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+bool IsStoreFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[sizeof(kStoreMagic)];
+  is.read(magic, sizeof(magic));
+  return static_cast<size_t>(is.gcount()) == sizeof(magic) &&
+         std::memcmp(magic, kStoreMagic, sizeof(magic)) == 0;
+}
+
+Result<DualSlotStore> DualSlotStore::Open(const std::string& dir) {
+  if (!IsDirectory(dir)) {
+#if defined(__unix__) || defined(__APPLE__)
+    if (::mkdir(dir.c_str(), 0755) != 0 && !IsDirectory(dir)) {
+      return Status::IOError("cannot open or create slot directory: " + dir);
+    }
+#else
+    return Status::IOError("dual-slot store requires POSIX: " + dir);
+#endif
+  }
+
+  DualSlotStore store;
+  store.dir_ = dir;
+  for (int s = 0; s < 2; ++s) {
+    store.slot_path_[s] = dir + "/" + kSlotFileName[s];
+    // Full probe: header + manifest + every section CRC. Opening a slot
+    // directory is a reload-frequency operation, not a decode-frequency
+    // one, so paying the checksum pass here is what buys "a corrupt slot
+    // is never selected".
+    auto reader = ModelStoreReader::Open(store.slot_path_[s]);
+    if (!reader.ok()) continue;
+    if (!reader.value().VerifyAllSections().ok()) continue;
+    store.slot_valid_[s] = true;
+    store.slot_seq_[s] = reader.value().sequence_number();
+  }
+
+  int hint_active = -1;
+  uint64_t hint_seq = 0;
+  ReadManifestHint(dir + "/" + kManifestFileName, &hint_active, &hint_seq);
+
+  if (store.slot_valid_[0] && store.slot_valid_[1]) {
+    if (store.slot_seq_[0] != store.slot_seq_[1]) {
+      store.active_ = store.slot_seq_[0] > store.slot_seq_[1] ? 0 : 1;
+    } else {
+      // Equal sequences should not happen under the publish protocol;
+      // honor the hint if it points at a valid slot, else prefer A.
+      store.active_ = hint_active >= 0 ? hint_active : 0;
+    }
+  } else if (store.slot_valid_[0] || store.slot_valid_[1]) {
+    store.active_ = store.slot_valid_[0] ? 0 : 1;
+  }
+  return store;
+}
+
+Status DualSlotStore::CommitManifest(int slot, uint64_t sequence) {
+  unsigned char buf[kSlotManifestBytes];
+  std::memcpy(buf, kSlotManifestMagic, sizeof(kSlotManifestMagic));
+  StoreU32(buf + 8, kSlotManifestVersion);
+  StoreU32(buf + 12, static_cast<uint32_t>(slot));
+  StoreU64(buf + 16, sequence);
+  StoreU32(buf + 24, Crc32c(buf, 24));
+  return util::AtomicWriteFile(dir_ + "/" + kManifestFileName, buf,
+                               sizeof(buf));
+}
+
+}  // namespace dhmm::store

@@ -2,7 +2,11 @@
 // allocating kernels bitwise, pinned pre-refactor values must survive the
 // cached-shifted-emissions and flat-backpointer rewrites, and every
 // batched reduction must be invariant to the thread count.
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -12,8 +16,38 @@
 #include "data/toy.h"
 #include "hmm/engine.h"
 #include "hmm/inference.h"
+#include "hmm/posterior_decoding.h"
 #include "hmm/trainer.h"
+#include "prob/gaussian_emission.h"
 #include "prob/rng.h"
+
+// ----------------------------------------------------- allocation counter ---
+
+// Byte-counting operator new instrumentation (the serve_test pattern, with
+// sizes instead of counts): the checkpointed-sweep memory test pins how
+// many bytes an E-step over a million-frame sequence actually allocates.
+namespace {
+std::atomic<long long> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_bytes.fetch_add(static_cast<long long>(size),
+                          std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_bytes.fetch_add(static_cast<long long>(size),
+                          std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace dhmm::hmm {
 namespace {
@@ -247,6 +281,201 @@ TEST(EmDeterminismTest, FitDiversifiedLoglikHistoryBitwiseInvariant) {
     }
     EXPECT_EQ(rn.final_map_objective, r1.final_map_objective) << threads;
   }
+}
+
+// -------------------------------------------- checkpointed sweep bitwise ---
+
+linalg::Matrix RandomLogB(size_t big_t, size_t k, prob::Rng& rng) {
+  linalg::Matrix log_b(big_t, k);
+  for (size_t t = 0; t < big_t; ++t) {
+    for (size_t i = 0; i < k; ++i) log_b(t, i) = -8.0 * rng.Uniform();
+  }
+  return log_b;
+}
+
+TEST(CheckpointedFbTest, BitwiseGridAgainstFullSweep) {
+  prob::Rng rng(4242);
+  InferenceWorkspace ws_full;
+  InferenceWorkspace ws_cp;  // deliberately reused dirty across the grid
+  ForwardBackwardResult full;
+  ForwardBackwardResult cp;
+  for (size_t big_t : {size_t{1}, size_t{2}, size_t{1000}, size_t{1001},
+                       size_t{4096}}) {
+    for (size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+      linalg::Vector pi = rng.DirichletSymmetric(k, 1.5);
+      linalg::Matrix a = rng.RandomStochasticMatrix(k, k, 1.5);
+      linalg::Matrix log_b = RandomLogB(big_t, k, rng);
+      ASSERT_TRUE(TryForwardBackward(pi, a, log_b, &ws_full, &full).ok());
+      // panel 0 = auto ceil(sqrt(T)); the explicit sizes hit the extreme
+      // panelings (every frame a checkpoint / one giant panel).
+      for (size_t panel : {size_t{0}, size_t{1}, size_t{7}, big_t}) {
+        ASSERT_TRUE(TryForwardBackwardCheckpointed(pi, a, log_b, panel,
+                                                   &ws_cp, &cp)
+                        .ok());
+        // Bitwise, not approximate: the checkpointed sweep replays the
+        // identical kernel calls on identical input bits.
+        ASSERT_EQ(cp.log_likelihood, full.log_likelihood)
+            << "T=" << big_t << " k=" << k << " panel=" << panel;
+        size_t gamma_diff = 0;
+        size_t xi_diff = 0;
+        for (size_t t = 0; t < big_t; ++t) {
+          for (size_t i = 0; i < k; ++i) {
+            gamma_diff += cp.gamma(t, i) != full.gamma(t, i);
+          }
+        }
+        for (size_t i = 0; i < k; ++i) {
+          for (size_t j = 0; j < k; ++j) {
+            xi_diff += cp.xi_sum(i, j) != full.xi_sum(i, j);
+          }
+        }
+        EXPECT_EQ(gamma_diff, 0u)
+            << "T=" << big_t << " k=" << k << " panel=" << panel;
+        EXPECT_EQ(xi_diff, 0u)
+            << "T=" << big_t << " k=" << k << " panel=" << panel;
+      }
+    }
+  }
+}
+
+TEST(CheckpointedFbTest, RowsLogLikelihoodMatchesTableBitwise) {
+  prob::Rng rng(4243);
+  InferenceWorkspace ws;
+  for (size_t big_t : {size_t{1}, size_t{37}, size_t{1000}}) {
+    const size_t k = 6;
+    linalg::Vector pi = rng.DirichletSymmetric(k, 1.5);
+    linalg::Matrix a = rng.RandomStochasticMatrix(k, k, 1.5);
+    linalg::Matrix log_b = RandomLogB(big_t, k, rng);
+    double from_table = 0.0;
+    double from_rows = 0.0;
+    ASSERT_TRUE(TryLogLikelihood(pi, a, log_b, &ws, &from_table).ok());
+    ASSERT_TRUE(
+        TryLogLikelihoodRows(pi, a, MatrixLogBRows(log_b), &ws, &from_rows)
+            .ok());
+    EXPECT_EQ(from_rows, from_table);
+  }
+}
+
+TEST(CheckpointedFbTest, PosteriorDecodePathsBitwiseIdentical) {
+  prob::Rng rng(4244);
+  InferenceWorkspace ws;
+  ForwardBackwardResult fb_full;
+  ForwardBackwardResult fb_cp;
+  std::vector<int> path_full;
+  std::vector<int> path_cp;
+  for (size_t big_t : {size_t{1}, size_t{300}, size_t{1001}}) {
+    const size_t k = 5;
+    linalg::Vector pi = rng.DirichletSymmetric(k, 1.5);
+    linalg::Matrix a = rng.RandomStochasticMatrix(k, k, 1.5);
+    linalg::Matrix log_b = RandomLogB(big_t, k, rng);
+    ASSERT_TRUE(
+        TryPosteriorDecode(pi, a, log_b, &ws, &fb_full, &path_full).ok());
+    // threshold 1 forces every sequence through the checkpointed sweep.
+    ASSERT_TRUE(TryPosteriorDecode(pi, a, log_b, /*threshold=*/1, &ws,
+                                   &fb_cp, &path_cp)
+                    .ok());
+    EXPECT_EQ(path_cp, path_full) << big_t;
+    EXPECT_EQ(fb_cp.log_likelihood, fb_full.log_likelihood) << big_t;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(fb_cp.xi_sum(i, j), fb_full.xi_sum(i, j)) << big_t;
+      }
+    }
+  }
+}
+
+TEST(CheckpointedFbTest, FitEmBitwiseInvariantToCheckpointingAndThreads) {
+  Dataset<double> data = MakeToyData(32);
+  prob::Rng init_rng(79);
+  HmmModel<double> init = data::ToyRandomInit(init_rng);
+
+  EmOptions options;
+  options.max_iters = 6;
+  options.num_threads = 1;
+  options.checkpoint_threshold_frames = 0;  // full path everywhere
+  HmmModel<double> m_full = init;
+  EmResult r_full = FitEm(&m_full, data, options);
+
+  for (int threads : {1, 2, 4}) {
+    options.num_threads = threads;
+    options.checkpoint_threshold_frames = 1;  // checkpointed everywhere
+    HmmModel<double> m_cp = init;
+    EmResult r_cp = FitEm(&m_cp, data, options);
+    ASSERT_EQ(r_cp.loglik_history.size(), r_full.loglik_history.size());
+    for (size_t i = 0; i < r_full.loglik_history.size(); ++i) {
+      EXPECT_EQ(r_cp.loglik_history[i], r_full.loglik_history[i])
+          << "threads=" << threads << " iter=" << i;
+    }
+    for (size_t i = 0; i < m_full.pi.size(); ++i) {
+      EXPECT_EQ(m_cp.pi[i], m_full.pi[i]) << threads;
+      for (size_t j = 0; j < m_full.pi.size(); ++j) {
+        EXPECT_EQ(m_cp.a(i, j), m_full.a(i, j)) << threads;
+      }
+    }
+  }
+}
+
+TEST(CheckpointedFbTest, FitDiversifiedBitwiseInvariantToCheckpointing) {
+  Dataset<double> data = MakeToyData(20);
+  prob::Rng init_rng(80);
+  HmmModel<double> init = data::ToyRandomInit(init_rng);
+
+  core::DiversifiedEmOptions options;
+  options.alpha = 0.5;
+  options.max_iters = 3;
+  options.num_threads = 2;
+  options.checkpoint_threshold_frames = 0;
+  HmmModel<double> m_full = init;
+  core::DiversifiedFitResult r_full =
+      core::FitDiversifiedHmm(&m_full, data, options);
+
+  options.checkpoint_threshold_frames = 1;
+  HmmModel<double> m_cp = init;
+  core::DiversifiedFitResult r_cp =
+      core::FitDiversifiedHmm(&m_cp, data, options);
+  ASSERT_EQ(r_cp.loglik_history.size(), r_full.loglik_history.size());
+  for (size_t i = 0; i < r_full.loglik_history.size(); ++i) {
+    EXPECT_EQ(r_cp.loglik_history[i], r_full.loglik_history[i]) << i;
+    EXPECT_EQ(r_cp.map_objective_history[i], r_full.map_objective_history[i])
+        << i;
+  }
+  EXPECT_EQ(r_cp.final_map_objective, r_full.final_map_objective);
+}
+
+// The memory contract the whole tentpole exists for: an E-step over one
+// million frames at k = 20 through the checkpointed sweep. The full path
+// would materialize the T x k emission table plus a T x k gamma — 160 MB
+// each; the checkpointed path allocates O(sqrt(T) * k) panels plus the
+// O(T) scale vector and observation copies, tens of MB in total. The bound
+// below fails loudly if anyone reintroduces a T x k buffer on this path.
+TEST(CheckpointedMemoryTest, MillionFrameEStepStaysSubTableMemory) {
+  const size_t k = 20;
+  const size_t frames = 1000000;
+  prob::Rng rng(81);
+  HmmModel<double> model(
+      rng.DirichletSymmetric(k, 2.0), rng.RandomStochasticMatrix(k, k, 2.0),
+      std::make_unique<prob::GaussianEmission>(
+          prob::GaussianEmission::RandomInit(k, rng)));
+  Dataset<double> data(1);
+  data[0].obs.resize(frames);
+  for (size_t t = 0; t < frames; ++t) data[0].obs[t] = rng.Gaussian(3.0, 2.0);
+
+  BatchEmEngine<double> engine(
+      BatchOptions{/*num_threads=*/1, /*checkpoint_threshold_frames=*/4096});
+  std::unique_ptr<prob::EmissionModel<double>> em_acc = model.emission->Clone();
+  em_acc->BeginAccumulate();
+  EStepStats stats;
+  stats.Reset(k);
+
+  const long long before = g_alloc_bytes.load(std::memory_order_relaxed);
+  engine.AccumulateEStep(model, data, &stats, em_acc.get());
+  const long long delta =
+      g_alloc_bytes.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(stats.frames, frames);
+  EXPECT_GT(stats.sequences, 0u);
+  // One full T x k table alone is 160 MB; everything the checkpointed
+  // E-step allocates together must stay far under that.
+  EXPECT_LT(delta, 40ll << 20) << "checkpointed E-step allocated " << delta;
 }
 
 }  // namespace

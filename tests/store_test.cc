@@ -1,0 +1,543 @@
+// Binary model store coverage: CRC-32C vectors, byte-exact round trips for
+// every emission family, an exhaustive corruption grid (every truncation
+// prefix, single-bit flips across the whole image, stale sequence numbers,
+// torn dual-slot publishes), and the serve-layer failsafe: a reload from a
+// corrupt slot keeps the previous snapshot serving, bitwise unchanged.
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/toy.h"
+#include "hmm/model.h"
+#include "hmm/sampler.h"
+#include "hmm/serialization.h"
+#include "prob/bernoulli_emission.h"
+#include "prob/categorical_emission.h"
+#include "prob/gaussian_emission.h"
+#include "prob/gmm_emission.h"
+#include "prob/rng.h"
+#include "serve/decode_service.h"
+#include "serve/model_registry.h"
+#include "store/crc32c.h"
+#include "store/dual_slot.h"
+#include "store/model_codec.h"
+#include "store/model_store.h"
+
+namespace dhmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures and helpers
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dhmm_store_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->line()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::string DirPath(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+void WriteBytes(const std::string& path, const std::vector<unsigned char>& b) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(b.data()),
+           static_cast<std::streamsize>(b.size()));
+  ASSERT_TRUE(os.good());
+}
+
+std::vector<unsigned char> ReadBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(is),
+                                    std::istreambuf_iterator<char>());
+}
+
+hmm::HmmModel<double> GaussianModel(uint64_t seed) {
+  prob::Rng rng(seed);
+  return data::ToyRandomInit(rng);
+}
+
+hmm::HmmModel<int> CategoricalModel(uint64_t seed) {
+  prob::Rng rng(seed);
+  return hmm::HmmModel<int>(
+      rng.DirichletSymmetric(4, 2.0), rng.RandomStochasticMatrix(4, 4, 2.0),
+      std::make_unique<prob::CategoricalEmission>(
+          prob::CategoricalEmission::RandomInit(4, 12, rng)));
+}
+
+hmm::HmmModel<prob::BinaryObs> BernoulliModel(uint64_t seed) {
+  prob::Rng rng(seed);
+  return hmm::HmmModel<prob::BinaryObs>(
+      rng.DirichletSymmetric(3, 2.0), rng.RandomStochasticMatrix(3, 3, 2.0),
+      std::make_unique<prob::BernoulliEmission>(
+          prob::BernoulliEmission::RandomInit(3, 5, rng)));
+}
+
+hmm::HmmModel<double> GmmModel(uint64_t seed) {
+  prob::Rng rng(seed);
+  return hmm::HmmModel<double>(
+      rng.DirichletSymmetric(3, 2.0), rng.RandomStochasticMatrix(3, 3, 2.0),
+      std::make_unique<prob::GmmEmission>(
+          prob::GmmEmission::RandomInit(3, 2, rng)));
+}
+
+bool BytesEqual(const double* a, const double* b, size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+bool CoreEqual(const linalg::Vector& pi_a, const linalg::Matrix& a_a,
+               const linalg::Vector& pi_b, const linalg::Matrix& a_b) {
+  return pi_a.size() == pi_b.size() && a_a.rows() == a_b.rows() &&
+         a_a.cols() == a_b.cols() &&
+         BytesEqual(pi_a.data(), pi_b.data(), pi_a.size()) &&
+         BytesEqual(a_a.data(), a_b.data(), a_a.rows() * a_a.cols());
+}
+
+template <typename Obs>
+std::vector<unsigned char> BuildModelImage(const hmm::HmmModel<Obs>& m,
+                                           uint64_t seq) {
+  // Same section list WriteModel assembles, but kept in memory so
+  // corruption tests can flip bits without rewriting files from scratch.
+  const std::string tmp =
+      (std::filesystem::temp_directory_path() / "dhmm_store_img.dhmms")
+          .string();
+  EXPECT_TRUE(store::WriteModel(m, seq, tmp).ok());
+  std::vector<unsigned char> image = ReadBytes(tmp);
+  std::filesystem::remove(tmp);
+  return image;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC-32C check value (RFC 3720 / every iSCSI test suite).
+  EXPECT_EQ(store::Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyAndChaining) {
+  EXPECT_EQ(store::Crc32c("", 0), 0u);
+  const char* s = "123456789";
+  const uint32_t head = store::Crc32c(s, 4);
+  EXPECT_EQ(store::Crc32c(s + 4, 5, head), store::Crc32c(s, 9));
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  unsigned char buf[64];
+  for (size_t i = 0; i < sizeof(buf); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 37 + 11);
+  }
+  const uint32_t clean = store::Crc32c(buf, sizeof(buf));
+  for (size_t bit = 0; bit < sizeof(buf) * 8; ++bit) {
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(store::Crc32c(buf, sizeof(buf)), clean) << "bit " << bit;
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST_F(StoreTest, GaussianRoundTripBitExact) {
+  const auto m = GaussianModel(11);
+  ASSERT_TRUE(store::WriteModel(m, 7, Path("m.dhmms")).ok());
+
+  auto reader = store::ModelStoreReader::Open(Path("m.dhmms"));
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  EXPECT_EQ(reader.value().sequence_number(), 7u);
+  EXPECT_EQ(reader.value().num_states(), m.num_states());
+  ASSERT_TRUE(reader.value().VerifyAllSections().ok());
+
+  auto r = store::ReadModel<double>(reader.value());
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(CoreEqual(m.pi, m.a, r.value().pi, r.value().a));
+  const auto& g0 = dynamic_cast<const prob::GaussianEmission&>(*m.emission);
+  const auto& g1 =
+      dynamic_cast<const prob::GaussianEmission&>(*r.value().emission);
+  EXPECT_TRUE(BytesEqual(g0.mu().data(), g1.mu().data(), g0.mu().size()));
+  EXPECT_TRUE(
+      BytesEqual(g0.sigma().data(), g1.sigma().data(), g0.sigma().size()));
+  EXPECT_EQ(g0.sigma_floor(), g1.sigma_floor());
+}
+
+TEST_F(StoreTest, CategoricalRoundTripBitExact) {
+  const auto m = CategoricalModel(12);
+  ASSERT_TRUE(store::WriteModel(m, 1, Path("m.dhmms")).ok());
+  auto r = store::ReadModelFromFile<int>(Path("m.dhmms"));
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(CoreEqual(m.pi, m.a, r.value().pi, r.value().a));
+  const auto& c0 = dynamic_cast<const prob::CategoricalEmission&>(*m.emission);
+  const auto& c1 =
+      dynamic_cast<const prob::CategoricalEmission&>(*r.value().emission);
+  ASSERT_EQ(c0.b().cols(), c1.b().cols());
+  EXPECT_TRUE(BytesEqual(c0.b().data(), c1.b().data(),
+                         c0.b().rows() * c0.b().cols()));
+  EXPECT_EQ(c0.pseudo_count(), c1.pseudo_count());
+}
+
+TEST_F(StoreTest, BernoulliRoundTripBitExact) {
+  const auto m = BernoulliModel(13);
+  ASSERT_TRUE(store::WriteModel(m, 1, Path("m.dhmms")).ok());
+  auto r = store::ReadModelFromFile<prob::BinaryObs>(Path("m.dhmms"));
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(CoreEqual(m.pi, m.a, r.value().pi, r.value().a));
+  const auto& b0 = dynamic_cast<const prob::BernoulliEmission&>(*m.emission);
+  const auto& b1 =
+      dynamic_cast<const prob::BernoulliEmission&>(*r.value().emission);
+  ASSERT_EQ(b0.p().cols(), b1.p().cols());
+  EXPECT_TRUE(BytesEqual(b0.p().data(), b1.p().data(),
+                         b0.p().rows() * b0.p().cols()));
+  EXPECT_EQ(b0.p_floor(), b1.p_floor());
+}
+
+TEST_F(StoreTest, GmmRoundTripBitExact) {
+  const auto m = GmmModel(14);
+  ASSERT_TRUE(store::WriteModel(m, 1, Path("m.dhmms")).ok());
+  auto r = store::ReadModelFromFile<double>(Path("m.dhmms"));
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(CoreEqual(m.pi, m.a, r.value().pi, r.value().a));
+  const auto& g0 = dynamic_cast<const prob::GmmEmission&>(*m.emission);
+  const auto& g1 = dynamic_cast<const prob::GmmEmission&>(*r.value().emission);
+  ASSERT_EQ(g0.weights().cols(), g1.weights().cols());
+  const size_t n = g0.weights().rows() * g0.weights().cols();
+  EXPECT_TRUE(BytesEqual(g0.weights().data(), g1.weights().data(), n));
+  EXPECT_TRUE(BytesEqual(g0.mu().data(), g1.mu().data(), n));
+  EXPECT_TRUE(BytesEqual(g0.sigma().data(), g1.sigma().data(), n));
+  EXPECT_EQ(g0.sigma_floor(), g1.sigma_floor());
+}
+
+TEST_F(StoreTest, WrongObservationTypeRejected) {
+  ASSERT_TRUE(store::WriteModel(GaussianModel(15), 1, Path("m.dhmms")).ok());
+  auto r = store::ReadModelFromFile<int>(Path("m.dhmms"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(StoreTest, OpenIsHeaderOnlyAndSectionsVerifyLazily) {
+  ASSERT_TRUE(store::WriteModel(GaussianModel(16), 1, Path("m.dhmms")).ok());
+  std::vector<unsigned char> image = ReadBytes(Path("m.dhmms"));
+  // Corrupt the LAST byte of the file (inside some section payload, far
+  // from header and manifest): Open must still succeed — it promises
+  // O(header) work — while full verification must catch it.
+  image.back() ^= 0x01;
+  WriteBytes(Path("m.dhmms"), image);
+  auto reader = store::ModelStoreReader::Open(Path("m.dhmms"));
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  EXPECT_FALSE(reader.value().VerifyAllSections().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption grid
+
+TEST_F(StoreTest, EveryTruncationPrefixRejected) {
+  const auto m = GaussianModel(17);
+  const std::vector<unsigned char> image = BuildModelImage(m, 3);
+  ASSERT_GT(image.size(), store::kStoreHeaderBytes);
+  for (size_t len = 0; len < image.size(); ++len) {
+    WriteBytes(Path("t.dhmms"),
+               std::vector<unsigned char>(image.begin(),
+                                          image.begin() + len));
+    auto reader = store::ModelStoreReader::Open(Path("t.dhmms"));
+    if (reader.ok()) {
+      // The header region can be self-consistent before the payload
+      // exists only if the recorded file size matched — it cannot, since
+      // the file is shorter than the full image. Belt and braces: if Open
+      // somehow passed, section verification must fail.
+      EXPECT_FALSE(reader.value().VerifyAllSections().ok())
+          << "truncation at " << len << " bytes undetected";
+    } else {
+      EXPECT_EQ(reader.status().code(), StatusCode::kIOError)
+          << "truncation at " << len;
+    }
+  }
+}
+
+TEST_F(StoreTest, EveryByteBitFlipDetectedOrHarmless) {
+  const auto m = GaussianModel(18);
+  const std::vector<unsigned char> image = BuildModelImage(m, 3);
+  size_t detected = 0;
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::vector<unsigned char> bad = image;
+    bad[i] ^= 0x10;
+    WriteBytes(Path("b.dhmms"), bad);
+    auto r = store::ReadModelFromFile<double>(Path("b.dhmms"));
+    if (!r.ok()) {
+      ++detected;
+      continue;
+    }
+    // Alignment padding between sections is the only region outside every
+    // checksum; a flip there must leave the decoded model bitwise
+    // identical to the original.
+    EXPECT_TRUE(CoreEqual(m.pi, m.a, r.value().pi, r.value().a))
+        << "undetected corrupting flip at byte " << i;
+    const auto& g0 = dynamic_cast<const prob::GaussianEmission&>(*m.emission);
+    const auto& g1 =
+        dynamic_cast<const prob::GaussianEmission&>(*r.value().emission);
+    EXPECT_TRUE(BytesEqual(g0.mu().data(), g1.mu().data(), g0.mu().size()))
+        << "undetected corrupting flip at byte " << i;
+  }
+  // Every byte of header, manifest, and payloads is covered by a CRC; only
+  // padding escapes. Sanity-check the grid actually exercised detection.
+  EXPECT_GT(detected, image.size() / 2);
+}
+
+TEST_F(StoreTest, HeaderFieldCorruptionsRejectedTyped) {
+  const std::vector<unsigned char> image = BuildModelImage(GaussianModel(19), 3);
+
+  struct Case {
+    size_t offset;
+    const char* what;
+  };
+  // One poke per validated header field; every one must be a typed
+  // IOError, never an abort or a successful open.
+  for (const Case& c : {Case{0, "magic"}, Case{8, "version"},
+                        Case{12, "flags"}, Case{28, "num_states"},
+                        Case{32, "section_count"}, Case{36, "manifest crc"},
+                        Case{40, "file size"}, Case{50, "reserved"},
+                        Case{60, "header crc"},
+                        Case{store::kStoreHeaderBytes, "manifest"}}) {
+    std::vector<unsigned char> bad = image;
+    bad[c.offset] ^= 0xFF;
+    WriteBytes(Path("h.dhmms"), bad);
+    auto reader = store::ModelStoreReader::Open(Path("h.dhmms"));
+    ASSERT_FALSE(reader.ok()) << c.what;
+    EXPECT_EQ(reader.status().code(), StatusCode::kIOError) << c.what;
+  }
+}
+
+TEST_F(StoreTest, MissingFileAndEmptyFile) {
+  EXPECT_FALSE(store::ModelStoreReader::Open(Path("absent.dhmms")).ok());
+  WriteBytes(Path("empty.dhmms"), {});
+  EXPECT_FALSE(store::ModelStoreReader::Open(Path("empty.dhmms")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Dual-slot store
+
+TEST_F(StoreTest, DualSlotPublishAndReopen) {
+  const std::string dir = DirPath("slots");
+  auto s = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s.value().has_model());
+  EXPECT_FALSE(s.value().Load<double>().ok());
+
+  const auto m1 = GaussianModel(21);
+  const auto m2 = GaussianModel(22);
+  ASSERT_TRUE(s.value().Publish(m1).ok());
+  EXPECT_EQ(s.value().sequence_number(), 1u);
+  ASSERT_TRUE(s.value().Publish(m2).ok());
+  EXPECT_EQ(s.value().sequence_number(), 2u);
+
+  // A fresh Open (new process, conceptually) sees the latest publish.
+  auto reopened = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().sequence_number(), 2u);
+  auto loaded = reopened.value().Load<double>();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(CoreEqual(m2.pi, m2.a, loaded.value().pi, loaded.value().a));
+}
+
+TEST_F(StoreTest, CorruptActiveSlotFallsBackToPrevious) {
+  const std::string dir = DirPath("slots");
+  auto s = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(s.ok());
+  const auto m1 = GaussianModel(23);
+  const auto m2 = GaussianModel(24);
+  ASSERT_TRUE(s.value().Publish(m1).ok());  // slot A, seq 1
+  ASSERT_TRUE(s.value().Publish(m2).ok());  // slot B, seq 2, active
+
+  // Flip one bit inside the active slot's payload.
+  std::vector<unsigned char> bytes = ReadBytes(dir + "/slot_b.dhmms");
+  bytes.back() ^= 0x04;
+  WriteBytes(dir + "/slot_b.dhmms", bytes);
+
+  auto reopened = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened.value().has_model());
+  EXPECT_EQ(reopened.value().sequence_number(), 1u);
+  auto loaded = reopened.value().Load<double>();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(CoreEqual(m1.pi, m1.a, loaded.value().pi, loaded.value().a));
+}
+
+TEST_F(StoreTest, TornPublishNewerSlotWinsOverStaleManifest) {
+  const std::string dir = DirPath("slots");
+  auto s = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(s.ok());
+  const auto m1 = GaussianModel(25);
+  ASSERT_TRUE(s.value().Publish(m1).ok());  // slot A, seq 1; manifest -> A
+
+  // Simulate a publisher that crashed after the slot write but before the
+  // manifest flip: slot B carries seq 2, the manifest still points at A.
+  const auto m2 = GaussianModel(26);
+  ASSERT_TRUE(store::WriteModel(m2, 2, dir + "/slot_b.dhmms").ok());
+
+  auto reopened = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().sequence_number(), 2u);
+  auto loaded = reopened.value().Load<double>();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(CoreEqual(m2.pi, m2.a, loaded.value().pi, loaded.value().a));
+}
+
+TEST_F(StoreTest, StaleSequenceNumberLosesToNewerValidSlot) {
+  const std::string dir = DirPath("slots");
+  auto s = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(s.ok());
+  // Hand-write slots out of order: A at seq 9, B at seq 4.
+  const auto m_new = GaussianModel(27);
+  const auto m_old = GaussianModel(28);
+  ASSERT_TRUE(store::WriteModel(m_new, 9, dir + "/slot_a.dhmms").ok());
+  ASSERT_TRUE(store::WriteModel(m_old, 4, dir + "/slot_b.dhmms").ok());
+
+  auto reopened = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().sequence_number(), 9u);
+  // The next publish must target the non-active slot (B).
+  EXPECT_EQ(reopened.value().publish_slot(), 1);
+}
+
+TEST_F(StoreTest, CorruptManifestIsOnlyAHint) {
+  const std::string dir = DirPath("slots");
+  auto s = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(s.ok());
+  const auto m1 = GaussianModel(29);
+  ASSERT_TRUE(s.value().Publish(m1).ok());
+
+  WriteBytes(dir + "/MANIFEST", {'g', 'a', 'r', 'b', 'a', 'g', 'e'});
+  auto reopened = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().sequence_number(), 1u);
+  EXPECT_TRUE(reopened.value().Load<double>().ok());
+}
+
+TEST_F(StoreTest, BothSlotsCorruptMeansNoModel) {
+  const std::string dir = DirPath("slots");
+  auto s = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s.value().Publish(GaussianModel(30)).ok());
+  ASSERT_TRUE(s.value().Publish(GaussianModel(31)).ok());
+  for (const char* slot : {"slot_a.dhmms", "slot_b.dhmms"}) {
+    std::vector<unsigned char> bytes = ReadBytes(DirPath("slots") +
+                                                 "/" + slot);
+    bytes[bytes.size() / 2] ^= 0x20;
+    WriteBytes(DirPath("slots") + "/" + slot, bytes);
+  }
+  auto reopened = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(reopened.value().has_model());
+  auto loaded = reopened.value().Load<double>();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// LoadAnyModel routing
+
+TEST_F(StoreTest, LoadAnyModelRoutesTextBinaryAndDirectory) {
+  const auto m = GaussianModel(32);
+
+  ASSERT_TRUE(hmm::SaveHmmToFile(m, Path("text.hmm")).ok());
+  auto from_text = store::LoadAnyModel<double>(Path("text.hmm"));
+  ASSERT_TRUE(from_text.ok()) << from_text.status().message();
+
+  ASSERT_TRUE(store::WriteModel(m, 1, Path("bin.dhmms")).ok());
+  auto from_bin = store::LoadAnyModel<double>(Path("bin.dhmms"));
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status().message();
+  EXPECT_TRUE(
+      CoreEqual(m.pi, m.a, from_bin.value().pi, from_bin.value().a));
+
+  auto slots = store::DualSlotStore::Open(DirPath("slots"));
+  ASSERT_TRUE(slots.ok());
+  ASSERT_TRUE(slots.value().Publish(m).ok());
+  auto from_dir = store::LoadAnyModel<double>(DirPath("slots"));
+  ASSERT_TRUE(from_dir.ok()) << from_dir.status().message();
+  EXPECT_TRUE(
+      CoreEqual(m.pi, m.a, from_dir.value().pi, from_dir.value().a));
+}
+
+// ---------------------------------------------------------------------------
+// Serve-layer failsafe reload
+
+TEST_F(StoreTest, ReloadFromCorruptStoreKeepsServingBitwiseUnchanged) {
+  const auto m = GaussianModel(33);
+  serve::DecodeService<double> service(
+      std::make_shared<const hmm::HmmModel<double>>(m));
+
+  prob::Rng rng(34);
+  hmm::Dataset<double> data = hmm::SampleDataset(m, 1, 40, rng);
+  auto before = service.Submit(serve::DecodeKind::kPosterior, data[0].obs);
+  const std::vector<int> path_before = before.Wait().path;
+  const double value_before = before.Wait().value;
+  before.Release();
+
+  // A corrupt binary checkpoint must be rejected...
+  ASSERT_TRUE(store::WriteModel(GaussianModel(35), 2, Path("c.dhmms")).ok());
+  std::vector<unsigned char> bytes = ReadBytes(Path("c.dhmms"));
+  bytes.back() ^= 0x08;
+  WriteBytes(Path("c.dhmms"), bytes);
+  const uint64_t version = service.model_version();
+  Status st = service.ReloadModel(Path("c.dhmms"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(service.model_version(), version);
+
+  // ...and the previous snapshot keeps serving, bitwise unchanged.
+  auto after = service.Submit(serve::DecodeKind::kPosterior, data[0].obs);
+  EXPECT_EQ(after.Wait().path, path_before);
+  EXPECT_EQ(after.Wait().value, value_before);
+  after.Release();
+}
+
+TEST_F(StoreTest, ReloadFromDualSlotDirWithCorruptActiveSlotServesFallback) {
+  const auto m1 = GaussianModel(36);
+  const auto m2 = GaussianModel(37);
+  const std::string dir = DirPath("slots");
+  auto slots = store::DualSlotStore::Open(dir);
+  ASSERT_TRUE(slots.ok());
+  ASSERT_TRUE(slots.value().Publish(m1).ok());
+  ASSERT_TRUE(slots.value().Publish(m2).ok());
+
+  serve::ModelRegistry<double> registry;
+  ASSERT_TRUE(registry.RegisterFromFile(1, dir).ok());
+  {
+    auto svc = registry.Acquire(1);
+    ASSERT_TRUE(svc.ok());
+    EXPECT_TRUE(CoreEqual(m2.pi, m2.a, svc.value()->ModelSnapshot()->pi,
+                          svc.value()->ModelSnapshot()->a));
+  }
+
+  // Corrupt the active slot; ReloadModel falls back to the surviving one.
+  std::vector<unsigned char> bytes = ReadBytes(dir + "/slot_b.dhmms");
+  bytes.back() ^= 0x02;
+  WriteBytes(dir + "/slot_b.dhmms", bytes);
+  ASSERT_TRUE(registry.ReloadModel(1).ok());
+  auto svc = registry.Acquire(1);
+  ASSERT_TRUE(svc.ok());
+  EXPECT_TRUE(CoreEqual(m1.pi, m1.a, svc.value()->ModelSnapshot()->pi,
+                        svc.value()->ModelSnapshot()->a));
+}
+
+}  // namespace
+}  // namespace dhmm
