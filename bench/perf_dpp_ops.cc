@@ -74,4 +74,5 @@ BENCHMARK(BM_SampleKDpp)->Arg(10)->Arg(26)->Arg(50);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cc (shared across perf benches): it adds the
+// kernel_isa context entry to every benchmark JSON before running.

@@ -156,4 +156,5 @@ BENCHMARK(BM_FrontEndPingPong)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cc (shared across perf benches): it adds the
+// kernel_isa context entry to every benchmark JSON before running.

@@ -17,9 +17,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "hmm/inference.h"
+#include "linalg/kernels_dispatch.h"
 #include "prob/rng.h"
 
 namespace {
@@ -350,6 +352,126 @@ void BM_LogLikelihoodOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_LogLikelihoodOnly)->Args({15, 24})->Args({26, 8});
 
+// ----------------------------------------------- per-ISA dispatch benches ---
+//
+// One ForwardBackward series per compiled-and-runnable kernel ISA, at the
+// two shapes the dispatch layer is gated on: k = 8 (largest fixed-k
+// instantiation) and k = 50 (variable-length vector path). The speedup
+// bars — avx* >= 1.5x scalar at k = 8 and >= 2.5x at k = 50 — are read off
+// these series. The benchmark forces the process-wide tables to the
+// requested ISA for its duration (documented test/bench-only hook) and
+// restores the startup resolution afterwards; Google Benchmark runs
+// benchmarks sequentially, so nothing else observes the swap.
+
+namespace klib = dhmm::linalg::kernels;
+
+void BM_ForwardBackwardIsa(benchmark::State& state, klib::Isa isa, size_t k,
+                           size_t t) {
+  Chain c = MakeChain(k, t);
+  const klib::Isa restore = klib::ActiveIsa();
+  if (!klib::internal::ForceIsaForTestOnly(isa)) {
+    state.SkipWithError("kernel ISA not runnable on this host");
+    return;
+  }
+  hmm::InferenceWorkspace ws;
+  hmm::ForwardBackwardResult fb;
+  for (auto _ : state) {
+    hmm::ForwardBackward(c.pi, c.a, c.log_b, &ws, &fb);
+    benchmark::DoNotOptimize(fb.log_likelihood);
+  }
+  klib::internal::ForceIsaForTestOnly(restore);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t));
+}
+
+int RegisterPerIsaBenches() {
+  for (klib::Isa isa : klib::CompiledIsas()) {
+    if (!klib::IsaAvailable(isa)) continue;
+    for (size_t k : {size_t{8}, size_t{50}}) {
+      const std::string name = std::string("BM_ForwardBackwardIsa/") +
+                               klib::IsaName(isa) + "/k:" +
+                               std::to_string(k) + "/T:100";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [isa, k](benchmark::State& state) {
+            BM_ForwardBackwardIsa(state, isa, k, 100);
+          });
+    }
+  }
+  return 0;
+}
+
+// -------------------------------------------- startup dispatch parity grid ---
+//
+// Before anything is timed, every compiled ISA's tables (generic and
+// fixed-k) are compared against the scalar oracle on randomized data over
+// the shapes the engine uses — abort on any divergence beyond 1e-12, so a
+// broken variant can never produce a plausible-looking benchmark number.
+
+void CheckDispatchParityOrDie() {
+  prob::Rng rng(20160516);
+  std::vector<double> x, y, w, a, s0, s1, v0, v1;
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{6}, size_t{7}, size_t{8}, size_t{20}, size_t{50}}) {
+    x.resize(n);
+    y.resize(n);
+    w.resize(n);
+    a.resize(n * n);
+    s0.assign(n, 0.0);
+    s1.assign(n, 0.0);
+    v0.resize(n);
+    v1.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = 2.0 * rng.Uniform() - 1.0;
+      y[i] = 2.0 * rng.Uniform() - 1.0;
+      w[i] = rng.Uniform();
+    }
+    for (size_t i = 0; i < n * n; ++i) a[i] = rng.Uniform();
+    const klib::KernelTable& sc = klib::TableFor(klib::Isa::kScalar, n);
+    for (klib::Isa isa : klib::CompiledIsas()) {
+      if (isa == klib::Isa::kScalar || !klib::IsaAvailable(isa)) continue;
+      const klib::KernelTable& kt = klib::TableFor(isa, n);
+      double worst = 0.0;
+      auto note = [&](double d) { worst = std::max(worst, std::fabs(d)); };
+      note(kt.sum_row(x.data(), n) - sc.sum_row(x.data(), n));
+      note(kt.dot(x.data(), y.data(), n) - sc.dot(x.data(), y.data(), n));
+      note(kt.max_row(x.data(), n) - sc.max_row(x.data(), n));
+      kt.mat_vec_col_mul(a.data(), x.data(), w.data(), n, n, v0.data());
+      sc.mat_vec_col_mul(a.data(), x.data(), w.data(), n, n, v1.data());
+      for (size_t i = 0; i < n; ++i) note(v0[i] - v1[i]);
+      kt.exp_shift_row(x.data(), n, v0.data());
+      sc.exp_shift_row(x.data(), n, v1.data());
+      for (size_t i = 0; i < n; ++i) note(v0[i] - v1[i]);
+      kt.axpy_mul_row(0.75, x.data(), y.data(), n, s0.data());
+      sc.axpy_mul_row(0.75, x.data(), y.data(), n, s1.data());
+      for (size_t i = 0; i < n; ++i) note(s0[i] - s1[i]);
+      std::vector<double> xi0(n * n, 0.25), xi1(n * n, 0.25);
+      kt.axpy_mul_mat(w.data(), a.data(), y.data(), n, n, xi0.data());
+      sc.axpy_mul_mat(w.data(), a.data(), y.data(), n, n, xi1.data());
+      for (size_t i = 0; i < n * n; ++i) note(xi0[i] - xi1[i]);
+      kt.backward_fused(a.data(), y.data(), w.data(), n, n, v0.data(),
+                        xi0.data());
+      sc.backward_fused(a.data(), y.data(), w.data(), n, n, v1.data(),
+                        xi1.data());
+      for (size_t i = 0; i < n; ++i) note(v0[i] - v1[i]);
+      for (size_t i = 0; i < n * n; ++i) note(xi0[i] - xi1[i]);
+      if (worst > 1e-12) {
+        std::fprintf(stderr,
+                     "kernel dispatch parity failure: %s vs scalar at n=%zu "
+                     "(max abs diff %.3g)\n",
+                     kt.name, n, worst);
+        std::abort();
+      }
+    }
+  }
+}
+
+const int kDispatchChecksDone = [] {
+  CheckDispatchParityOrDie();
+  return RegisterPerIsaBenches();
+}();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cc (shared across perf benches): it adds the
+// kernel_isa context entry to every benchmark JSON before running.

@@ -170,4 +170,5 @@ BENCHMARK(BM_EStepLongSequence)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cc (shared across perf benches): it adds the
+// kernel_isa context entry to every benchmark JSON before running.

@@ -1,0 +1,18 @@
+// Shared main() for every perf_* microbenchmark: BENCHMARK_MAIN() plus a
+// `kernel_isa` entry in the benchmark context, so every BENCH_*.json
+// records which kernel dispatch variant produced its numbers (an avx512
+// run and a DHMM_KERNEL_ISA=scalar run are different experiments and must
+// never be compared as one series).
+#include <benchmark/benchmark.h>
+
+#include "linalg/kernels_dispatch.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("kernel_isa",
+                              dhmm::linalg::kernels::ActiveIsaName());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -375,4 +375,5 @@ BENCHMARK(BM_LogDetGradFused)->ArgName("k")->Arg(20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cc (shared across perf benches): it adds the
+// kernel_isa context entry to every benchmark JSON before running.

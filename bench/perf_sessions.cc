@@ -140,4 +140,5 @@ BENCHMARK(BM_SessionCreateDestroyChurn)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cc (shared across perf benches): it adds the
+// kernel_isa context entry to every benchmark JSON before running.

@@ -5,12 +5,19 @@
 #include <string>
 
 #include "linalg/kernels.h"
+#include "linalg/kernels_dispatch.h"
 #include "prob/logsumexp.h"
 #include "util/check.h"
 
 namespace dhmm::hmm {
 
 namespace klib = linalg::kernels;
+
+// Every Try* entry point fetches its kernel table once via klib::ForK(k)
+// — outside all per-frame loops — and calls the reduction/axpy/fused
+// kernels through it. The cheap inline scans (ArgMax*, ScaleRow,
+// MulRowInto) stay direct calls: they are branchy or trivially cheap and
+// identical across variants.
 
 bool TransitionCache::Sync(const linalg::Matrix& a) {
   const size_t k = a.rows();
@@ -67,6 +74,7 @@ namespace {
 // the same row up to three times per frame). Fails on a frame with zero
 // emission probability in every state.
 Status PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
+                                  const klib::KernelTable& kt,
                                   InferenceWorkspace* ws) {
   const size_t big_t = log_b.rows();
   const size_t k = log_b.cols();
@@ -74,7 +82,7 @@ Status PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
   ws->shift.Resize(big_t);
   for (size_t t = 0; t < big_t; ++t) {
     const double m =
-        klib::ExpShiftRow(log_b.row_data(t), k, ws->btilde.row_data(t));
+        kt.exp_shift_row(log_b.row_data(t), k, ws->btilde.row_data(t));
     if (m == prob::kNegInf) {
       return Status::InvalidArgument(
           FrameError("zero emission probability in every state", t));
@@ -87,10 +95,10 @@ Status PrecomputeShiftedEmissions(const linalg::Matrix& log_b,
 // gamma(t, .) = normalized alpha_hat(t, .) * beta_hat(t, .), with the
 // division replaced by one hoisted reciprocal multiply. False when the
 // posterior mass vanished (numerically impossible frame).
-bool GammaRow(const double* alpha_row, const double* beta_row, size_t k,
-              double* gamma_row) {
+bool GammaRow(const klib::KernelTable& kt, const double* alpha_row,
+              const double* beta_row, size_t k, double* gamma_row) {
   klib::MulRowInto(alpha_row, beta_row, k, gamma_row);
-  const double norm = klib::SumRow(gamma_row, k);
+  const double norm = kt.sum_row(gamma_row, k);
   if (!(norm > 0.0)) return false;
   klib::ScaleRow(gamma_row, k, 1.0 / norm);
   return true;
@@ -121,7 +129,8 @@ Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   out->xi_sum.Resize(k, k);
   out->xi_sum.Fill(0.0);
 
-  DHMM_RETURN_NOT_OK(PrecomputeShiftedEmissions(log_b, ws));
+  const klib::KernelTable& kt = klib::ForK(k);
+  DHMM_RETURN_NOT_OK(PrecomputeShiftedEmissions(log_b, kt, ws));
   ws->alpha_hat.Resize(big_t, k);
   ws->beta_hat.Resize(big_t, k);
   ws->scale.Resize(big_t);
@@ -139,7 +148,7 @@ Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   double loglik = 0.0;
   double* alpha0 = alpha_hat.row_data(0);
   klib::MulRowInto(pi.data(), btilde.row_data(0), k, alpha0);
-  double c = klib::SumRow(alpha0, k);
+  double c = kt.sum_row(alpha0, k);
   if (!(c > 0.0)) {
     return Status::InvalidArgument(
         FrameError("forward message vanished", 0));
@@ -151,9 +160,9 @@ Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   for (size_t t = 1; t < big_t; ++t) {
     double* cur = alpha_hat.row_data(t);
     // Fused step: cur[j] = dot(a_t row j, alpha_{t-1}) * btilde(t, j).
-    klib::MatVecColMul(a_t.data(), alpha_hat.row_data(t - 1),
+    kt.mat_vec_col_mul(a_t.data(), alpha_hat.row_data(t - 1),
                        btilde.row_data(t), k, k, cur);
-    c = klib::SumRow(cur, k);
+    c = kt.sum_row(cur, k);
     if (!(c > 0.0)) {
       return Status::InvalidArgument(
           FrameError("forward message vanished", t));
@@ -170,26 +179,23 @@ Status TryForwardBackward(const linalg::Vector& pi, const linalg::Matrix& a,
   // by both the backward row-dots and the xi row-axpys while it is hot.
   double* beta_last = beta_hat.row_data(big_t - 1);
   for (size_t i = 0; i < k; ++i) beta_last[i] = 1.0;
-  if (!GammaRow(alpha_hat.row_data(big_t - 1), beta_last, k,
+  if (!GammaRow(kt, alpha_hat.row_data(big_t - 1), beta_last, k,
                 out->gamma.row_data(big_t - 1))) {
     return Status::InvalidArgument(
         FrameError("posterior mass vanished", big_t - 1));
   }
   double* u = ws->frame_u.data();
   for (size_t t = big_t - 1; t-- > 0;) {
-    klib::MulRowScaledInto(btilde.row_data(t + 1), beta_hat.row_data(t + 1),
+    kt.mul_row_scaled_into(btilde.row_data(t + 1), beta_hat.row_data(t + 1),
                            1.0 / scale[t + 1], k, u);
     const double* alpha_row = alpha_hat.row_data(t);
     double* beta_row = beta_hat.row_data(t);
-    for (size_t i = 0; i < k; ++i) {
-      const double* a_row = a.row_data(i);
-      beta_row[i] = klib::Dot(a_row, u, k);
-      const double ai = alpha_row[i];
-      if (ai != 0.0) {
-        klib::AxpyMulRow(ai, a_row, u, k, out->xi_sum.row_data(i));
-      }
-    }
-    if (!GammaRow(alpha_row, beta_row, k, out->gamma.row_data(t))) {
+    // beta(t) = A u and the frame's xi accumulation in one pass over A
+    // (bitwise = mat_vec_col then axpy_mul_mat; A is read once, not
+    // twice — the win that matters once k x k falls out of L1).
+    kt.backward_fused(a.data(), u, alpha_row, k, k, beta_row,
+                      out->xi_sum.data());
+    if (!GammaRow(kt, alpha_row, beta_row, k, out->gamma.row_data(t))) {
       return Status::InvalidArgument(
           FrameError("posterior mass vanished", t));
     }
@@ -258,6 +264,7 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
   ws->frame.Resize(k);
   linalg::Vector& scale = ws->cp_scale;
   const linalg::Matrix& a_t = ws->transition.Transpose(a);
+  const klib::KernelTable& kt = klib::ForK(k);
 
   // ---- Pass 1: forward, keeping one scaled alpha row per panel plus all T
   // scale factors. The kernel-call sequence per frame is exactly the full
@@ -270,7 +277,7 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
     double* cur = ws->alpha_next.data();
     double* bt = ws->frame.data();
     for (size_t t = 0; t < big_t; ++t) {
-      const double m = klib::ExpShiftRow(log_b.row(log_b.ctx, t), k, bt);
+      const double m = kt.exp_shift_row(log_b.row(log_b.ctx, t), k, bt);
       if (m == prob::kNegInf) {
         return Status::InvalidArgument(
             FrameError("zero emission probability in every state", t));
@@ -278,9 +285,9 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
       if (t == 0) {
         klib::MulRowInto(pi.data(), bt, k, cur);
       } else {
-        klib::MatVecColMul(a_t.data(), prev, bt, k, k, cur);
+        kt.mat_vec_col_mul(a_t.data(), prev, bt, k, k, cur);
       }
-      const double c = klib::SumRow(cur, k);
+      const double c = kt.sum_row(cur, k);
       if (!(c > 0.0)) {
         return Status::InvalidArgument(
             FrameError("forward message vanished", t));
@@ -306,8 +313,8 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
   auto replay_panel = [&](size_t p, size_t t0, size_t t1,
                           size_t hi) -> Status {
     for (size_t t = t0; t <= hi; ++t) {
-      const double m = klib::ExpShiftRow(log_b.row(log_b.ctx, t), k,
-                                         ws->panel_btilde.row_data(t - t0));
+      const double m = kt.exp_shift_row(log_b.row(log_b.ctx, t), k,
+                                        ws->panel_btilde.row_data(t - t0));
       if (m == prob::kNegInf) {
         return Status::InvalidArgument(
             FrameError("zero emission probability in every state", t));
@@ -317,9 +324,9 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
                 k * sizeof(double));
     for (size_t t = t0 + 1; t < t1; ++t) {
       double* row = ws->panel_alpha.row_data(t - t0);
-      klib::MatVecColMul(a_t.data(), ws->panel_alpha.row_data(t - 1 - t0),
+      kt.mat_vec_col_mul(a_t.data(), ws->panel_alpha.row_data(t - 1 - t0),
                          ws->panel_btilde.row_data(t - t0), k, k, row);
-      const double c = klib::SumRow(row, k);
+      const double c = kt.sum_row(row, k);
       if (!(c > 0.0)) {
         return Status::InvalidArgument(
             FrameError("forward message vanished", t));
@@ -349,8 +356,8 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
     if (p + 1 == num_panels) {
       // Backward base case, exactly as the full path: beta(T-1) = 1.
       for (size_t i = 0; i < k; ++i) beta_next[i] = 1.0;
-      if (!GammaRow(ws->panel_alpha.row_data(big_t - 1 - t0), beta_next, k,
-                    gamma_row)) {
+      if (!GammaRow(kt, ws->panel_alpha.row_data(big_t - 1 - t0), beta_next,
+                    k, gamma_row)) {
         return Status::InvalidArgument(
             FrameError("posterior mass vanished", big_t - 1));
       }
@@ -358,18 +365,14 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
       f = big_t - 1;
     }
     while (f-- > t0) {
-      klib::MulRowScaledInto(ws->panel_btilde.row_data(f + 1 - t0),
+      kt.mul_row_scaled_into(ws->panel_btilde.row_data(f + 1 - t0),
                              beta_next, 1.0 / scale[f + 1], k, u);
       const double* alpha_row = ws->panel_alpha.row_data(f - t0);
-      for (size_t i = 0; i < k; ++i) {
-        const double* a_row = a.row_data(i);
-        beta_cur[i] = klib::Dot(a_row, u, k);
-        const double ai = alpha_row[i];
-        if (ai != 0.0) {
-          klib::AxpyMulRow(ai, a_row, u, k, xi_sum->row_data(i));
-        }
-      }
-      if (!GammaRow(alpha_row, beta_cur, k, gamma_row)) {
+      // Same fused backward frame as the full path's sweep — bitwise
+      // equality frame by frame depends on it.
+      kt.backward_fused(a.data(), u, alpha_row, k, k, beta_cur,
+                        xi_sum->data());
+      if (!GammaRow(kt, alpha_row, beta_cur, k, gamma_row)) {
         return Status::InvalidArgument(
             FrameError("posterior mass vanished", f));
       }
@@ -407,15 +410,12 @@ Status TryForwardBackwardCheckpointed(const linalg::Vector& pi,
       while (f-- > t0) {
         const double* beta_up =
             (f + 1 == t1) ? seed : ws->panel_beta.row_data(f + 1 - t0);
-        klib::MulRowScaledInto(ws->panel_btilde.row_data(f + 1 - t0),
+        kt.mul_row_scaled_into(ws->panel_btilde.row_data(f + 1 - t0),
                                beta_up, 1.0 / scale[f + 1], k, u);
-        double* beta_row = ws->panel_beta.row_data(f - t0);
-        for (size_t i = 0; i < k; ++i) {
-          beta_row[i] = klib::Dot(a.row_data(i), u, k);
-        }
+        kt.mat_vec_col(a.data(), u, k, k, ws->panel_beta.row_data(f - t0));
       }
       for (size_t t = t0; t < t1; ++t) {
-        if (!GammaRow(ws->panel_alpha.row_data(t - t0),
+        if (!GammaRow(kt, ws->panel_alpha.row_data(t - t0),
                       ws->panel_beta.row_data(t - t0), k, gamma_row)) {
           return Status::InvalidArgument(
               FrameError("posterior mass vanished", t));
@@ -469,11 +469,12 @@ Status TryLogLikelihoodRows(const linalg::Vector& pi, const linalg::Matrix& a,
   double* next = ws->alpha_next.data();
   double* btilde = ws->frame.data();
   const linalg::Matrix& a_t = ws->transition.Transpose(a);
+  const klib::KernelTable& kt = klib::ForK(k);
 
   // One frame of shifted emissions at a time: the forward-only pass never
   // revisits a frame, so a full T x k cache would be wasted work.
   auto shifted = [&](size_t t) {
-    return klib::ExpShiftRow(log_b.row(log_b.ctx, t), k, btilde);
+    return kt.exp_shift_row(log_b.row(log_b.ctx, t), k, btilde);
   };
 
   double loglik = 0.0;
@@ -483,7 +484,7 @@ Status TryLogLikelihoodRows(const linalg::Vector& pi, const linalg::Matrix& a,
         FrameError("zero emission probability in every state", 0));
   }
   klib::MulRowInto(pi.data(), btilde, k, alpha);
-  double c = klib::SumRow(alpha, k);
+  double c = kt.sum_row(alpha, k);
   if (!(c > 0.0)) {
     return Status::InvalidArgument(
         FrameError("forward message vanished", 0));
@@ -496,8 +497,8 @@ Status TryLogLikelihoodRows(const linalg::Vector& pi, const linalg::Matrix& a,
       return Status::InvalidArgument(
           FrameError("zero emission probability in every state", t));
     }
-    klib::MatVecColMul(a_t.data(), alpha, btilde, k, k, next);
-    c = klib::SumRow(next, k);
+    kt.mat_vec_col_mul(a_t.data(), alpha, btilde, k, k, next);
+    c = kt.sum_row(next, k);
     if (!(c > 0.0)) {
       return Status::InvalidArgument(
           FrameError("forward message vanished", t));

@@ -59,6 +59,14 @@ void AxpyMulRow(double s, const double* DHMM_RESTRICT x,
   for (std::size_t i = 0; i < n; ++i) out[i] += s * x[i] * y[i];
 }
 
+void AxpyMulMat(const double* DHMM_RESTRICT s, const double* DHMM_RESTRICT a,
+                const double* DHMM_RESTRICT y, std::size_t m, std::size_t n,
+                double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    if (s[i] != 0.0) AxpyMulRow(s[i], a + i * n, y, n, out + i * n);
+  }
+}
+
 void MatVecRow(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT a,
                std::size_t m, std::size_t n, double* DHMM_RESTRICT out) {
   for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
@@ -80,6 +88,16 @@ void MatVecColMul(const double* DHMM_RESTRICT a,
                   double* DHMM_RESTRICT out) {
   for (std::size_t i = 0; i < m; ++i) {
     out[i] = Dot(a + i * n, x, n) * w[i];
+  }
+}
+
+void BackwardFused(const double* DHMM_RESTRICT a, const double* DHMM_RESTRICT u,
+                   const double* DHMM_RESTRICT s, std::size_t m, std::size_t n,
+                   double* DHMM_RESTRICT beta_out, double* DHMM_RESTRICT xi) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* DHMM_RESTRICT row = a + i * n;
+    beta_out[i] = Dot(row, u, n);
+    if (s[i] != 0.0) AxpyMulRow(s[i], row, u, n, xi + i * n);
   }
 }
 

@@ -12,6 +12,13 @@
 // The kernels are deliberately shape-agnostic: callers (hmm/inference.cc,
 // linalg::Matrix) choose whether to feed a matrix or its cached transpose so
 // that every inner loop reads memory contiguously.
+//
+// This header is the *scalar* layer — the parity oracle. SIMD variants of
+// the out-of-line kernels live behind the one-shot dispatch tables in
+// linalg/kernels_dispatch.h; hot callers fetch a table via ForK(k) and call
+// through it, while anything calling these functions directly gets the
+// oracle unconditionally (that is what DHMM_KERNEL_ISA=scalar pins the
+// whole process to).
 #ifndef DHMM_LINALG_KERNELS_H_
 #define DHMM_LINALG_KERNELS_H_
 
@@ -111,15 +118,30 @@ void AxpyMulRow(double s, const double* DHMM_RESTRICT x,
                 const double* DHMM_RESTRICT y, std::size_t n,
                 double* DHMM_RESTRICT out);
 
+/// \brief Batched AxpyMulRow over the rows of row-major A (m x n):
+/// out(i,.) += s[i] * a(i,.) .* y for every i with s[i] != 0, i ascending.
+/// The whole frame's xi accumulation xi += diag(alpha_hat(t,.)) A diag(u)
+/// in one call. Rows with s[i] == 0 are skipped entirely — same zero-skip
+/// the callers used to do (computing them anyway could turn 0 * inf into
+/// NaN). Bitwise identical to the equivalent per-row AxpyMulRow loop on
+/// every ISA: the batched form changes the call structure, never the
+/// per-element expression or row order.
+void AxpyMulMat(const double* DHMM_RESTRICT s, const double* DHMM_RESTRICT a,
+                const double* DHMM_RESTRICT y, std::size_t m, std::size_t n,
+                double* DHMM_RESTRICT out);
+
 /// \brief out = x^T A for row-major A (m x n): contiguous axpy over the rows
 /// of A, never touching a column stride. out must not alias x or A.
 ///
 /// This is the axpy-formulation counterpart of MatVecCol for callers that
 /// need x^T A but cannot afford to build/cache a transpose (one-shot
 /// products over large rectangular A). The in-tree chain recursions all go
-/// through the cached transpose instead, so today this primitive is
-/// exercised only by the kernel tests; Matrix::MatMul keeps its own loop
-/// because its zero-skip changes 0 * inf semantics.
+/// through the cached transpose instead, so no inference loop calls this —
+/// but it is a full member of the kernels_dispatch.h tables (every ISA
+/// ships a variant, covered by the cross-variant parity grid) so a future
+/// caller gets the vectorized form for free. Matrix::MatMul keeps its own
+/// zero-skip loop because skipping changes 0 * inf semantics; its inner
+/// axpy does route through the dispatch table.
 void MatVecRow(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT a,
                std::size_t m, std::size_t n, double* DHMM_RESTRICT out);
 
@@ -136,6 +158,21 @@ void MatVecColMul(const double* DHMM_RESTRICT a,
                   const double* DHMM_RESTRICT x,
                   const double* DHMM_RESTRICT w, std::size_t m, std::size_t n,
                   double* DHMM_RESTRICT out);
+
+/// \brief The fused backward frame: out = A u (exactly MatVecCol) and
+/// xi(i,.) += s[i] * a(i,.) .* u for every i with s[i] != 0 (exactly
+/// AxpyMulMat), in one pass over A. The backward recursion's per-frame
+/// pair beta(t) = A u, xi += diag(alpha_hat(t,.)) A diag(u) touches the
+/// k x k transition matrix twice when issued as two kernels; at k where A
+/// falls out of L1 that second read is pure memory traffic, so the vector
+/// variants fuse the two while a(i,.) is in registers. Bitwise identical
+/// to the MatVecCol-then-AxpyMulMat composition on every ISA — fusion
+/// changes when values are computed, never the per-row accumulation order
+/// or element expressions — which is why stream BetaStep can keep calling
+/// plain MatVecCol (it needs no xi) and still match offline beta bitwise.
+void BackwardFused(const double* DHMM_RESTRICT a, const double* DHMM_RESTRICT u,
+                   const double* DHMM_RESTRICT s, std::size_t m, std::size_t n,
+                   double* DHMM_RESTRICT beta_out, double* DHMM_RESTRICT xi);
 
 /// \brief Shifted exponentiation of one emission row: returns
 /// m = max_i x[i] and writes out[i] = exp(x[i] - m), so at least one output

@@ -1,0 +1,459 @@
+// AVX2+FMA kernel variants. Compiled with -mavx2 -mfma (per-file flags,
+// see src/CMakeLists.txt); without those flags this TU is the nullptr stub
+// at the bottom, so the portable build never references an AVX
+// instruction.
+//
+// Documented lane-accumulation contract of the avx2 variants (the fixed
+// order that makes them bitwise reproducible across calls, thread counts,
+// and buffer reuse):
+//
+//  - Reductions (SumRow, Dot, MaxRow) stream two 4-lane accumulators over
+//    stride-8 blocks: acc0 takes elements [8b, 8b+4), acc1 takes
+//    [8b+4, 8b+8). A remaining >= 4 chunk folds into acc0. The
+//    accumulators combine as acc0 (+) acc1 lanewise, then a butterfly:
+//    (l0 + l2) + (l1 + l3). The scalar tail (< 4 elements) then folds
+//    into that total in ascending order, one fused multiply-add per
+//    element for Dot (plain add for SumRow, running strict-> max for
+//    MaxRow).
+//  - Dot lanes accumulate with FMA (one rounding per element); this is the
+//    FMA use the -ffp-contract=off build contract allows: explicit in the
+//    source with the order documented here, never compiler contraction.
+//  - Elementwise kernels are per-element fixed sequences: AxpyRow
+//    out[i] = fma(s, x[i], out[i]); AxpyMulRow
+//    out[i] = fma(s * x[i], y[i], out[i]); MulRowScaledInto
+//    out[i] = (x[i] * y[i]) * s (no FMA — bitwise equal to the scalar
+//    oracle). Vector body and scalar tail apply the same per-element ops.
+//  - MatVecRow iterates rows ascending over the AxpyRow contract.
+//    MatVecCol / MatVecColMul / BackwardFused iterate rows ascending with
+//    a *single* 4-lane accumulator per row over stride-4 blocks (not
+//    Dot's two-accumulator stream: one chain per row lets four
+//    interleaved rows hide FMA latency), the final partial block loaded
+//    through a vmaskmovpd lane mask (a masked lane contributes an exact
+//    0 * 0 — no scalar tail chain), then one butterfly reduce
+//    (l0 + l2) + (l1 + l3). Rows are processed in groups of four sharing
+//    the loads of x; grouping never changes a row's accumulation order,
+//    so results are independent of m. BackwardFused's xi update applies
+//    the AxpyMulRow element expression under the same mask, sharing each
+//    row's loads with the beta dot.
+//  - ExpShiftRow is the MaxRow contract followed by the shared PolyExp
+//    per element (vector lanes and scalar tail evaluate the identical
+//    operation sequence; see kernels_poly_exp.h).
+//
+// NaN semantics of MaxRow match the scalar oracle: a NaN candidate never
+// replaces the running max (vmaxpd(x, acc) keeps acc when x is NaN).
+// Loads/stores are unconditionally unaligned-tolerant (vmovupd): kernel
+// selection and control flow depend only on (pointer-free) lengths, never
+// on buffer addresses.
+#include "linalg/kernels_dispatch.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "linalg/kernels_fixed_k.h"
+#include "linalg/kernels_poly_exp.h"
+
+namespace dhmm::linalg::kernels {
+namespace {
+
+inline double ReduceAdd(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // (l0 + l2, l1 + l3)
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+inline double ReduceMax(__m256d v) {
+  // max is insensitive to grouping for non-NaN inputs; NaN lanes cannot
+  // arise here because the accumulators already filtered them (see below).
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_max_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_max_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+double SumRowAvx2(const double* DHMM_RESTRICT x, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(x + i + 4));
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+    i += 4;
+  }
+  double s = ReduceAdd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+double DotAvx2(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT y,
+               std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                           _mm256_loadu_pd(y + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+    i += 4;
+  }
+  double s = ReduceAdd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s = std::fma(x[i], y[i], s);
+  return s;
+}
+
+double MaxRowAvx2(const double* DHMM_RESTRICT x, std::size_t n) {
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  __m256d acc0 = _mm256_set1_pd(kNegInf);
+  __m256d acc1 = acc0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Operand order matters: vmaxpd(a, b) returns b when a is NaN, so
+    // putting the data first makes a NaN element keep the accumulator —
+    // the scalar oracle's strict-> semantics.
+    acc0 = _mm256_max_pd(_mm256_loadu_pd(x + i), acc0);
+    acc1 = _mm256_max_pd(_mm256_loadu_pd(x + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_max_pd(_mm256_loadu_pd(x + i), acc0);
+    i += 4;
+  }
+  double m = ReduceMax(_mm256_max_pd(acc0, acc1));
+  for (; i < n; ++i) m = x[i] > m ? x[i] : m;
+  return m;
+}
+
+void MulRowScaledIntoAvx2(const double* DHMM_RESTRICT x,
+                          const double* DHMM_RESTRICT y, double s,
+                          std::size_t n, double* DHMM_RESTRICT out) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod =
+        _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(prod, sv));
+  }
+  for (; i < n; ++i) out[i] = x[i] * y[i] * s;
+}
+
+void AxpyRowAvx2(double s, const double* DHMM_RESTRICT x, std::size_t n,
+                 double* DHMM_RESTRICT out) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_fmadd_pd(sv, _mm256_loadu_pd(x + i), _mm256_loadu_pd(out + i)));
+  }
+  for (; i < n; ++i) out[i] = std::fma(s, x[i], out[i]);
+}
+
+void AxpyMulRowAvx2(double s, const double* DHMM_RESTRICT x,
+                    const double* DHMM_RESTRICT y, std::size_t n,
+                    double* DHMM_RESTRICT out) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d sx = _mm256_mul_pd(sv, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_fmadd_pd(sx, _mm256_loadu_pd(y + i), _mm256_loadu_pd(out + i)));
+  }
+  for (; i < n; ++i) out[i] = std::fma(s * x[i], y[i], out[i]);
+}
+
+// Rows ascending, each row the exact AxpyMulRowAvx2 body (direct call, so
+// it inlines) — bitwise identical to the per-row loop the callers used to
+// run, minus m indirect calls per frame. Rows with s[i] == 0 skipped.
+void AxpyMulMatAvx2(const double* DHMM_RESTRICT s,
+                    const double* DHMM_RESTRICT a,
+                    const double* DHMM_RESTRICT y, std::size_t m,
+                    std::size_t n, double* DHMM_RESTRICT out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    if (s[i] != 0.0) AxpyMulRowAvx2(s[i], a + i * n, y, n, out + i * n);
+  }
+}
+
+void MatVecRowAvx2(const double* DHMM_RESTRICT x, const double* DHMM_RESTRICT a,
+                   std::size_t m, std::size_t n, double* DHMM_RESTRICT out) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    AxpyRowAvx2(x[i], a + i * n, n, out);
+  }
+}
+
+// Lane-mask table for the final partial block of the mat-vec family:
+// kTailMask + (4 - rem) keeps the low rem lanes under vmaskmovpd, so the
+// tail rides the vector accumulator (a masked lane contributes an exact
+// 0 * 0) instead of a serial per-element fma chain after the reduction.
+alignas(32) constexpr long long kTailMask[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+
+inline __m256i TailMaskAvx2(std::size_t n) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kTailMask + (4 - (n & 3))));
+}
+
+// Per-row dot with the MatVecCol row order: ONE 4-lane accumulator over
+// stride-4 blocks, final partial block through the lane mask, one
+// butterfly reduce. A single chain per row (unlike Dot's two) so four
+// interleaved rows supply the FMA pipeline; the row result is identical
+// whether the row is processed in a 4-row group or alone.
+inline double MatRowDotAvx2(const double* DHMM_RESTRICT row,
+                            const double* DHMM_RESTRICT x, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(row + j), _mm256_loadu_pd(x + j),
+                          acc);
+  }
+  if (j < n) {
+    const __m256i tm = TailMaskAvx2(n);
+    acc = _mm256_fmadd_pd(_mm256_maskload_pd(row + j, tm),
+                          _mm256_maskload_pd(x + j, tm), acc);
+  }
+  return ReduceAdd(acc);
+}
+
+// Shared MatVecCol/MatVecColMul body: rows in ascending order, processed
+// in groups of four so the four independent accumulator chains hide the
+// FMA latency of one another (each row still accumulates exactly as
+// MatRowDotAvx2 — the grouping shares only the loads of x).
+template <bool kMulW>
+inline void MatVecColBodyAvx2(const double* DHMM_RESTRICT a,
+                              const double* DHMM_RESTRICT x,
+                              const double* DHMM_RESTRICT w, std::size_t m,
+                              std::size_t n, double* DHMM_RESTRICT out) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* DHMM_RESTRICT r0 = a + i * n;
+    const double* DHMM_RESTRICT r1 = r0 + n;
+    const double* DHMM_RESTRICT r2 = r1 + n;
+    const double* DHMM_RESTRICT r3 = r2 + n;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + j);
+      a0 = _mm256_fmadd_pd(_mm256_loadu_pd(r0 + j), xv, a0);
+      a1 = _mm256_fmadd_pd(_mm256_loadu_pd(r1 + j), xv, a1);
+      a2 = _mm256_fmadd_pd(_mm256_loadu_pd(r2 + j), xv, a2);
+      a3 = _mm256_fmadd_pd(_mm256_loadu_pd(r3 + j), xv, a3);
+    }
+    if (j < n) {
+      const __m256i tm = TailMaskAvx2(n);
+      const __m256d xv = _mm256_maskload_pd(x + j, tm);
+      a0 = _mm256_fmadd_pd(_mm256_maskload_pd(r0 + j, tm), xv, a0);
+      a1 = _mm256_fmadd_pd(_mm256_maskload_pd(r1 + j, tm), xv, a1);
+      a2 = _mm256_fmadd_pd(_mm256_maskload_pd(r2 + j, tm), xv, a2);
+      a3 = _mm256_fmadd_pd(_mm256_maskload_pd(r3 + j, tm), xv, a3);
+    }
+    const double s0 = ReduceAdd(a0);
+    const double s1 = ReduceAdd(a1);
+    const double s2 = ReduceAdd(a2);
+    const double s3 = ReduceAdd(a3);
+    if (kMulW) {
+      out[i] = s0 * w[i];
+      out[i + 1] = s1 * w[i + 1];
+      out[i + 2] = s2 * w[i + 2];
+      out[i + 3] = s3 * w[i + 3];
+    } else {
+      out[i] = s0;
+      out[i + 1] = s1;
+      out[i + 2] = s2;
+      out[i + 3] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const double s = MatRowDotAvx2(a + i * n, x, n);
+    out[i] = kMulW ? s * w[i] : s;
+  }
+}
+
+void MatVecColAvx2(const double* DHMM_RESTRICT a, const double* DHMM_RESTRICT x,
+                   std::size_t m, std::size_t n, double* DHMM_RESTRICT out) {
+  MatVecColBodyAvx2<false>(a, x, nullptr, m, n, out);
+}
+
+void MatVecColMulAvx2(const double* DHMM_RESTRICT a,
+                      const double* DHMM_RESTRICT x,
+                      const double* DHMM_RESTRICT w, std::size_t m,
+                      std::size_t n, double* DHMM_RESTRICT out) {
+  MatVecColBodyAvx2<true>(a, x, w, m, n, out);
+}
+
+// One pass over A for the backward frame pair (see kernels.h): each row's
+// beta dot accumulates exactly as MatRowDotAvx2 (single accumulator,
+// stride-4, masked final block) and each xi update applies the
+// AxpyMulRowAvx2 element expression with the same masked final block,
+// sharing the loads of a(i,.) between the two.
+void BackwardFusedAvx2(const double* DHMM_RESTRICT a,
+                       const double* DHMM_RESTRICT u,
+                       const double* DHMM_RESTRICT s, std::size_t m,
+                       std::size_t n, double* DHMM_RESTRICT beta_out,
+                       double* DHMM_RESTRICT xi) {
+  const __m256i tm = TailMaskAvx2(n);
+  const bool has_tail = (n & 3) != 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* DHMM_RESTRICT row = a + i * n;
+    const double si = s[i];
+    if (si == 0.0) {
+      beta_out[i] = MatRowDotAvx2(row, u, n);
+      continue;
+    }
+    double* DHMM_RESTRICT xrow = xi + i * n;
+    const __m256d sv = _mm256_set1_pd(si);
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m256d av = _mm256_loadu_pd(row + j);
+      const __m256d uv = _mm256_loadu_pd(u + j);
+      acc = _mm256_fmadd_pd(av, uv, acc);
+      const __m256d sx = _mm256_mul_pd(sv, av);
+      _mm256_storeu_pd(xrow + j,
+                       _mm256_fmadd_pd(sx, uv, _mm256_loadu_pd(xrow + j)));
+    }
+    if (has_tail) {
+      const __m256d av = _mm256_maskload_pd(row + j, tm);
+      const __m256d uv = _mm256_maskload_pd(u + j, tm);
+      acc = _mm256_fmadd_pd(av, uv, acc);
+      const __m256d sx = _mm256_mul_pd(sv, av);
+      _mm256_maskstore_pd(
+          xrow + j, tm,
+          _mm256_fmadd_pd(sx, uv, _mm256_maskload_pd(xrow + j, tm)));
+    }
+    beta_out[i] = ReduceAdd(acc);
+  }
+}
+
+// 4-lane PolyExp: the vector evaluation of the exact operation sequence in
+// kernels_poly_exp.h (every mul/add/div separately rounded, no FMA), so a
+// lane result is bitwise equal to PolyExp of the same input.
+inline __m256d PolyExpVec(__m256d y) {
+  const __m256d keep =
+      _mm256_cmp_pd(y, _mm256_set1_pd(kPolyExpUnderflow), _CMP_NLT_UQ);
+  const __m256d yc = _mm256_max_pd(y, _mm256_set1_pd(kPolyExpUnderflow));
+  const __m256d nf = _mm256_floor_pd(
+      _mm256_add_pd(_mm256_mul_pd(yc, _mm256_set1_pd(kPolyExpLog2e)),
+                    _mm256_set1_pd(0.5)));
+  __m256d r = _mm256_sub_pd(yc, _mm256_mul_pd(nf, _mm256_set1_pd(kPolyExpC1)));
+  r = _mm256_sub_pd(r, _mm256_mul_pd(nf, _mm256_set1_pd(kPolyExpC2)));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kPolyExpP0), r2),
+                            _mm256_set1_pd(kPolyExpP1));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r2), _mm256_set1_pd(kPolyExpP2));
+  p = _mm256_mul_pd(r, p);
+  __m256d q = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kPolyExpQ0), r2),
+                            _mm256_set1_pd(kPolyExpQ1));
+  q = _mm256_add_pd(_mm256_mul_pd(q, r2), _mm256_set1_pd(kPolyExpQ2));
+  q = _mm256_add_pd(_mm256_mul_pd(q, r2), _mm256_set1_pd(kPolyExpQ3));
+  const __m256d e = _mm256_add_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_div_pd(_mm256_mul_pd(_mm256_set1_pd(2.0), p),
+                    _mm256_sub_pd(q, p)));
+  // 2^n through the exponent field: nf is integral in [-1021, 1].
+  const __m128i n32 = _mm256_cvtpd_epi32(nf);
+  const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  const __m256i bits = _mm256_slli_epi64(
+      _mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  const __m256d pow2 = _mm256_castsi256_pd(bits);
+  // Lanes below the underflow threshold flush to exactly 0.0 (the masked
+  // lanes went through the clamped yc, so no garbage propagates); NaN
+  // lanes propagate their input NaN, exactly as scalar PolyExp.
+  const __m256d res = _mm256_and_pd(_mm256_mul_pd(e, pow2), keep);
+  const __m256d unord = _mm256_cmp_pd(y, y, _CMP_UNORD_Q);
+  return _mm256_blendv_pd(res, y, unord);
+}
+
+double ExpShiftRowAvx2(const double* DHMM_RESTRICT x, std::size_t n,
+                       double* DHMM_RESTRICT out) {
+  const double m = MaxRowAvx2(x, n);
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  const __m256d mv = _mm256_set1_pd(m);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     PolyExpVec(_mm256_sub_pd(_mm256_loadu_pd(x + i), mv)));
+  }
+  for (; i < n; ++i) out[i] = PolyExp(x[i] - m);
+  return m;
+}
+
+// All tables below are constant-initialized (no dynamic initializers), so
+// dispatch resolution is safe even from another TU's static initializer.
+constexpr KernelTable kAvx2Generic = {
+    &SumRowAvx2,
+    &DotAvx2,
+    &MaxRowAvx2,
+    &MulRowScaledIntoAvx2,
+    &AxpyRowAvx2,
+    &AxpyMulRowAvx2,
+    &AxpyMulMatAvx2,
+    &MatVecRowAvx2,
+    &MatVecColAvx2,
+    &MatVecColMulAvx2,
+    &BackwardFusedAvx2,
+    &ExpShiftRowAvx2,
+    Isa::kAvx2,
+    "avx2",
+    0};
+
+// Fixed-k tables start from the fully unrolled Tree instantiations, then —
+// once K fills at least one 4-lane vector — take this TU's vector kernels
+// for the row-sweep ops, where a whole emission/backward row is streamed
+// (the horizontal reductions sum/dot/max stay Tree: at k <= 8 their
+// log-depth unrolled form beats a vector loop plus lane reduction). The
+// choice is constexpr per K, so each (ISA, k) cell is still one fixed
+// variant resolved at startup.
+template <std::size_t K>
+constexpr KernelTable MakeFixed() {
+  KernelTable t =
+      fixed_k::MakeFixedTable<K>(Isa::kAvx2, fixed_k::kAvx2FixedNames[K]);
+  if (K >= 4) {
+    t.mul_row_scaled_into = &MulRowScaledIntoAvx2;
+    t.axpy_mul_row = &AxpyMulRowAvx2;
+    t.axpy_mul_mat = &AxpyMulMatAvx2;
+    t.mat_vec_col = &MatVecColAvx2;
+    t.mat_vec_col_mul = &MatVecColMulAvx2;
+    t.backward_fused = &BackwardFusedAvx2;
+    t.exp_shift_row = &ExpShiftRowAvx2;
+  }
+  return t;
+}
+
+template <std::size_t K>
+constexpr KernelTable kFixed = MakeFixed<K>();
+
+constexpr internal::IsaTables kTables = {
+    &kAvx2Generic,
+    {&kAvx2Generic, &kFixed<1>, &kFixed<2>, &kFixed<3>, &kFixed<4>,
+     &kFixed<5>, &kFixed<6>, &kFixed<7>, &kFixed<8>}};
+
+}  // namespace
+
+namespace internal {
+const IsaTables* Avx2Tables() { return &kTables; }
+}  // namespace internal
+
+}  // namespace dhmm::linalg::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace dhmm::linalg::kernels::internal {
+const IsaTables* Avx2Tables() { return nullptr; }
+}  // namespace dhmm::linalg::kernels::internal
+
+#endif

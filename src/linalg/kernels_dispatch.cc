@@ -1,0 +1,235 @@
+// Startup resolution of the kernel dispatch tables (see the header for
+// the contract). The scalar table defined here points at the verbatim
+// kernels.cc oracle — under Isa::kScalar every k-class resolves to it.
+#include "linalg/kernels_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace dhmm::linalg::kernels {
+namespace {
+
+// The scalar "variant" is the oracle itself: same function pointers for
+// every k-class, so forcing DHMM_KERNEL_ISA=scalar reproduces the
+// pre-dispatch code paths exactly.
+constexpr KernelTable kScalarTable = {&SumRow,
+                                      &Dot,
+                                      &MaxRow,
+                                      &MulRowScaledInto,
+                                      &AxpyRow,
+                                      &AxpyMulRow,
+                                      &AxpyMulMat,
+                                      &MatVecRow,
+                                      &MatVecCol,
+                                      &MatVecColMul,
+                                      &BackwardFused,
+                                      &ExpShiftRow,
+                                      Isa::kScalar,
+                                      "scalar",
+                                      0};
+
+constexpr internal::IsaTables kScalarTables = {
+    &kScalarTable,
+    {&kScalarTable, &kScalarTable, &kScalarTable, &kScalarTable,
+     &kScalarTable, &kScalarTable, &kScalarTable, &kScalarTable,
+     &kScalarTable}};
+
+bool CpuHasAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+const internal::IsaTables* TablesOrNull(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &internal::ScalarTables();
+    case Isa::kAvx2:
+      return internal::Avx2Tables();
+    case Isa::kAvx512:
+      return internal::Avx512Tables();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return CpuHasAvx2();
+    case Isa::kAvx512:
+      return CpuHasAvx512();
+  }
+  return false;
+}
+
+/// Parses a DHMM_KERNEL_ISA value; returns false on unrecognized input.
+bool ParseIsaName(const char* s, Isa* out) {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Isa::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    *out = Isa::kAvx2;
+    return true;
+  }
+  if (std::strcmp(s, "avx512") == 0) {
+    *out = Isa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+struct Resolution {
+  const internal::IsaTables* tables;
+  Isa isa;
+  Isa detected;            ///< best compiled-and-supported ISA
+  const char* override_s;  ///< "none" | the accepted env value
+};
+
+Isa DetectBest() {
+  if (TablesOrNull(Isa::kAvx512) != nullptr && CpuHasAvx512()) {
+    return Isa::kAvx512;
+  }
+  if (TablesOrNull(Isa::kAvx2) != nullptr && CpuHasAvx2()) {
+    return Isa::kAvx2;
+  }
+  return Isa::kScalar;
+}
+
+Resolution Resolve() {
+  Resolution r;
+  r.detected = DetectBest();
+  r.isa = r.detected;
+  r.override_s = "none";
+  if (const char* env = std::getenv("DHMM_KERNEL_ISA")) {
+    Isa wanted;
+    if (!ParseIsaName(env, &wanted)) {
+      std::fprintf(stderr,
+                   "[dhmm] DHMM_KERNEL_ISA=%s unrecognized "
+                   "(scalar|avx2|avx512); using %s\n",
+                   env, IsaName(r.detected));
+    } else if (!IsaAvailable(wanted)) {
+      std::fprintf(stderr,
+                   "[dhmm] DHMM_KERNEL_ISA=%s not available on this "
+                   "host/build; using %s\n",
+                   env, IsaName(r.detected));
+    } else {
+      r.isa = wanted;
+      r.override_s = IsaName(wanted);
+    }
+  }
+  r.tables = TablesOrNull(r.isa);
+  DHMM_CHECK(r.tables != nullptr);
+  return r;
+}
+
+/// One-shot resolution state. Function-local static: thread-safe, runs on
+/// first kernel use, and — because every table it selects from is
+/// constant-initialized — safe even when that first use happens inside
+/// another TU's static initializer.
+Resolution& GetResolution() {
+  static Resolution r = Resolve();
+  return r;
+}
+
+}  // namespace
+
+const KernelTable& Active() { return *GetResolution().tables->generic; }
+
+const KernelTable& ForK(std::size_t k) {
+  const internal::IsaTables* t = GetResolution().tables;
+  return k <= kMaxFixedK ? *t->by_k[k] : *t->generic;
+}
+
+Isa ActiveIsa() { return GetResolution().isa; }
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const char* ActiveIsaName() { return IsaName(ActiveIsa()); }
+
+std::vector<Isa> CompiledIsas() {
+  std::vector<Isa> out = {Isa::kScalar};
+  if (TablesOrNull(Isa::kAvx2) != nullptr) out.push_back(Isa::kAvx2);
+  if (TablesOrNull(Isa::kAvx512) != nullptr) out.push_back(Isa::kAvx512);
+  return out;
+}
+
+bool IsaAvailable(Isa isa) {
+  return TablesOrNull(isa) != nullptr && CpuSupports(isa);
+}
+
+const KernelTable& TableFor(Isa isa) {
+  const internal::IsaTables* t = TablesOrNull(isa);
+  DHMM_CHECK_MSG(t != nullptr, "ISA variant not compiled into this binary");
+  return *t->generic;
+}
+
+const KernelTable& TableFor(Isa isa, std::size_t k) {
+  const internal::IsaTables* t = TablesOrNull(isa);
+  DHMM_CHECK_MSG(t != nullptr, "ISA variant not compiled into this binary");
+  return k <= kMaxFixedK ? *t->by_k[k] : *t->generic;
+}
+
+std::string StartupSummary() {
+  const Resolution& r = GetResolution();
+  std::string s = "isa=";
+  s += IsaName(r.isa);
+  s += " detected=";
+  s += IsaName(r.detected);
+  s += " override=";
+  s += r.override_s;
+  s += " fixed_k<=";
+  s += std::to_string(kMaxFixedK);
+  return s;
+}
+
+void LogStartupOnce() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    std::fprintf(stderr, "[dhmm] kernel dispatch: %s\n",
+                 StartupSummary().c_str());
+  });
+}
+
+namespace internal {
+
+const IsaTables& ScalarTables() { return kScalarTables; }
+
+bool ForceIsaForTestOnly(Isa isa) {
+  if (!IsaAvailable(isa)) return false;
+  Resolution& r = GetResolution();
+  r.isa = isa;
+  r.tables = TablesOrNull(isa);
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace dhmm::linalg::kernels

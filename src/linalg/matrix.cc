@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/kernels.h"
+#include "linalg/kernels_dispatch.h"
 #include "util/string_util.h"
 
 namespace dhmm::linalg {
@@ -92,11 +93,14 @@ Matrix& Matrix::operator*=(double s) {
 Matrix Matrix::MatMul(const Matrix& other) const {
   DHMM_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
+  // Arbitrary-shape products outside the per-k inference hot path go
+  // through the active variable-length table (never the fixed-k ones).
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {
       double a = (*this)(i, k);
       if (a == 0.0) continue;
-      kernels::AxpyRow(a, other.row_data(k), other.cols_, out.row_data(i));
+      kt.axpy_row(a, other.row_data(k), other.cols_, out.row_data(i));
     }
   }
   return out;
@@ -105,7 +109,8 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Vector Matrix::MatVec(const Vector& v) const {
   DHMM_CHECK(cols_ == v.size());
   Vector out(rows_);
-  kernels::MatVecCol(data_.data(), v.data(), rows_, cols_, out.data());
+  kernels::Active().mat_vec_col(data_.data(), v.data(), rows_, cols_,
+                                out.data());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/kernels.h"
+#include "linalg/kernels_dispatch.h"
 
 namespace dhmm::linalg {
 
@@ -37,7 +38,7 @@ size_t Vector::argmax() const {
 
 double Vector::dot(const Vector& other) const {
   DHMM_CHECK(size() == other.size());
-  return kernels::Dot(data_.data(), other.data_.data(), size());
+  return kernels::Active().dot(data_.data(), other.data_.data(), size());
 }
 
 Vector& Vector::operator*=(double s) {

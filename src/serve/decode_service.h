@@ -47,6 +47,7 @@
 #include "hmm/model.h"
 #include "hmm/posterior_decoding.h"
 #include "hmm/serialization.h"
+#include "linalg/kernels_dispatch.h"
 #include "serve/request.h"
 #include "store/dual_slot.h"
 #include "util/check.h"
@@ -190,6 +191,9 @@ class DecodeService {
     DHMM_CHECK_MSG(model != nullptr, "DecodeService requires a model");
     model->Validate();
     model_ = std::move(model);
+    // Make the resolved kernel ISA attributable in service logs (no-op
+    // after the first front end constructed in the process).
+    linalg::kernels::LogStartupOnce();
     // One std::function for the lifetime of the service: the only capture
     // is `this`, so the callable stays in std::function's inline storage
     // and batch dispatch never touches the allocator.

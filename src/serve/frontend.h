@@ -56,6 +56,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/kernels_dispatch.h"
 #include "serve/decode_service.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
@@ -136,6 +137,9 @@ class FrontEnd {
   Status Start() {
     DHMM_RETURN_NOT_OK(options_.Validate());
     if (running_) return Status::FailedPrecondition("FrontEnd already started");
+    // Make the resolved kernel ISA attributable in service logs (no-op
+    // after the first front end started in the process).
+    linalg::kernels::LogStartupOnce();
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) return Errno("socket");

@@ -25,6 +25,7 @@
 
 #include "hmm/model.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_dispatch.h"
 #include "linalg/matrix.h"
 #include "prob/logsumexp.h"
 
@@ -98,6 +99,10 @@ StepOutcome ForwardStep(const hmm::HmmModel<Obs>& model,
                         double* loglik_inc) {
   namespace klib = linalg::kernels;
   const size_t k = model.num_states();
+  // ForK(k) resolves to the same (ISA, k-class) table the offline path
+  // fetched for this k — required for the bitwise stream-vs-offline
+  // contract, and free after the first call (one bounds test + index).
+  const klib::KernelTable& kt = klib::ForK(k);
   const size_t row = t % window;
   double* btilde_row = r.btilde + row * k;
   // Emission table row for this frame — the same per-frame shifted table
@@ -105,7 +110,7 @@ StepOutcome ForwardStep(const hmm::HmmModel<Obs>& model,
   for (size_t i = 0; i < k; ++i) {
     r.logb[i] = model.emission->LogProb(i, y);
   }
-  const double m = klib::ExpShiftRow(r.logb, k, btilde_row);
+  const double m = kt.exp_shift_row(r.logb, k, btilde_row);
   if (m == prob::kNegInf) return StepOutcome::kImpossibleObservation;
 
   // Scaled forward step — identical kernel sequence to the offline
@@ -114,10 +119,10 @@ StepOutcome ForwardStep(const hmm::HmmModel<Obs>& model,
   if (t == 0) {
     klib::MulRowInto(model.pi.data(), btilde_row, k, alpha);
   } else {
-    klib::MatVecColMul(a_t.data(), r.alpha + ((t - 1) % window) * k,
+    kt.mat_vec_col_mul(a_t.data(), r.alpha + ((t - 1) % window) * k,
                        btilde_row, k, k, alpha);
   }
-  const double c = klib::SumRow(alpha, k);
+  const double c = kt.sum_row(alpha, k);
   if (!(c > 0.0)) return StepOutcome::kForwardVanished;
   klib::ScaleRow(alpha, k, 1.0 / c);
   r.scale[row] = c;
@@ -132,11 +137,14 @@ StepOutcome ForwardStep(const hmm::HmmModel<Obs>& model,
 inline void BetaStep(const linalg::Matrix& a, size_t k, const StreamRings& r,
                      size_t next_row, const double* beta, double* beta_next) {
   namespace klib = linalg::kernels;
-  klib::MulRowScaledInto(r.btilde + next_row * k, beta,
+  const klib::KernelTable& kt = klib::ForK(k);
+  kt.mul_row_scaled_into(r.btilde + next_row * k, beta,
                          1.0 / r.scale[next_row], k, r.frame_u);
-  for (size_t i = 0; i < k; ++i) {
-    beta_next[i] = klib::Dot(a.row_data(i), r.frame_u, k);
-  }
+  // One batched mat-vec, not k per-row dots: the offline backward sweep
+  // computes beta the same way, and the stream-vs-offline bitwise contract
+  // needs both sides to use the same kernel (mat_vec_col's per-row lane
+  // order is documented independently of dot's).
+  kt.mat_vec_col(a.data(), r.frame_u, k, k, beta_next);
 }
 
 /// \brief Gamma normalization and argmax at `frame` given its backward
@@ -148,7 +156,7 @@ inline int GammaArgmax(size_t k, size_t window, const StreamRings& r,
                        size_t frame, const double* beta) {
   namespace klib = linalg::kernels;
   klib::MulRowInto(r.alpha + (frame % window) * k, beta, k, r.gamma);
-  const double norm = klib::SumRow(r.gamma, k);
+  const double norm = klib::ForK(k).sum_row(r.gamma, k);
   if (!(norm > 0.0)) return -1;
   klib::ScaleRow(r.gamma, k, 1.0 / norm);
   return static_cast<int>(klib::ArgMaxRow(r.gamma, k));

@@ -8,12 +8,21 @@
 //    changes (stale-transpose detection) and never otherwise,
 //  - steady-state inference (ForwardBackward / LogLikelihood / Viterbi at a
 //    fixed shape, including an in-place transpose rebuild after an M-step
-//    mutates A) performs zero heap allocations (instrumented operator new).
+//    mutates A) performs zero heap allocations (instrumented operator new),
+//  - the PR-9 SIMD dispatch contract: one-shot startup resolution honoring
+//    DHMM_KERNEL_ISA (the *_scalar_isa ctest registrations rerun this
+//    binary under the override), a cross-variant parity grid of every
+//    KernelTable member against the scalar oracle at <= 1e-12, bitwise
+//    self-reproducibility of every variant across repeated calls and
+//    thread counts, and engine-level scalar-vs-vector agreement.
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +30,7 @@
 #include "hmm/inference.h"
 #include "linalg/aligned.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_dispatch.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "prob/logsumexp.h"
@@ -417,6 +427,170 @@ TEST(InferenceAllocationTest, TransposeRebuildAtFixedKIsInPlace) {
   EXPECT_EQ(after - before, 0)
       << "in-place transpose rebuild made " << (after - before)
       << " heap allocations";
+}
+
+// ------------------------------------------------------- startup dispatch ---
+
+// Applies every KernelTable member to inputs derived from `seed`, flattening
+// all outputs (including the full xi accumulators) into one vector so whole
+// variants can be compared wholesale — with EXPECT_NEAR for cross-ISA parity
+// or memcmp for bitwise self-reproducibility.
+std::vector<double> ApplyAllKernels(const klib::KernelTable& kt, size_t n,
+                                    uint64_t seed) {
+  std::vector<double> x = RandomRow(n, seed);
+  std::vector<double> y = RandomRow(n, seed + 1);
+  std::vector<double> w = RandomRow(n, seed + 2, 0.0, 1.0);
+  std::vector<double> logrow = RandomRow(n, seed + 3, -30.0, 0.0);
+  std::vector<double> a = RandomRow(n * n, seed + 4, 0.0, 1.0);
+  if (n > 1) w[0] = 0.0;  // exercise the xi zero-skip rows
+  std::vector<double> out;
+  std::vector<double> v(n), xi(n * n);
+  auto push = [&](const std::vector<double>& r) {
+    out.insert(out.end(), r.begin(), r.end());
+  };
+  out.push_back(kt.sum_row(x.data(), n));
+  out.push_back(kt.dot(x.data(), y.data(), n));
+  out.push_back(kt.max_row(x.data(), n));
+  kt.mul_row_scaled_into(x.data(), y.data(), 1.7, n, v.data());
+  push(v);
+  v.assign(n, 0.25);
+  kt.axpy_row(0.6, x.data(), n, v.data());
+  push(v);
+  v.assign(n, 0.25);
+  kt.axpy_mul_row(0.6, x.data(), y.data(), n, v.data());
+  push(v);
+  xi.assign(n * n, 0.5);
+  kt.axpy_mul_mat(w.data(), a.data(), y.data(), n, n, xi.data());
+  push(xi);
+  kt.mat_vec_row(x.data(), a.data(), n, n, v.data());
+  push(v);
+  kt.mat_vec_col(a.data(), x.data(), n, n, v.data());
+  push(v);
+  kt.mat_vec_col_mul(a.data(), x.data(), w.data(), n, n, v.data());
+  push(v);
+  xi.assign(n * n, 0.125);
+  kt.backward_fused(a.data(), y.data(), w.data(), n, n, v.data(), xi.data());
+  push(v);
+  push(xi);
+  out.push_back(kt.exp_shift_row(logrow.data(), n, v.data()));
+  push(v);
+  return out;
+}
+
+TEST(DispatchTest, ResolutionIsOneShotAndHonorsEnvOverride) {
+  const klib::KernelTable& t1 = klib::Active();
+  const klib::KernelTable& t2 = klib::Active();
+  EXPECT_EQ(&t1, &t2);
+  EXPECT_EQ(t1.isa, klib::ActiveIsa());
+  // ForK pins each k-class to one table object for the process lifetime —
+  // the property the engine/serve bitwise contracts stand on.
+  for (size_t k = 1; k <= klib::kMaxFixedK + 4; ++k) {
+    const klib::KernelTable& a = klib::ForK(k);
+    const klib::KernelTable& b = klib::ForK(k);
+    EXPECT_EQ(&a, &b) << "k=" << k;
+    EXPECT_EQ(a.isa, klib::ActiveIsa()) << "k=" << k;
+    if (k <= klib::kMaxFixedK && klib::ActiveIsa() != klib::Isa::kScalar) {
+      EXPECT_EQ(a.fixed_k, k);
+    } else {
+      EXPECT_EQ(a.fixed_k, 0u) << "k=" << k;
+      EXPECT_EQ(&a, &klib::Active()) << "k=" << k;
+    }
+  }
+  // When DHMM_KERNEL_ISA names a compiled-and-supported ISA, the one-shot
+  // resolution must have honored it. The *_scalar_isa ctest registrations
+  // run this whole binary under DHMM_KERNEL_ISA=scalar, so this branch is
+  // exercised in every CI run, not just when a developer exports the var.
+  if (const char* env = std::getenv("DHMM_KERNEL_ISA")) {
+    const std::string want(env);
+    for (klib::Isa isa : klib::CompiledIsas()) {
+      if (want == klib::IsaName(isa) && klib::IsaAvailable(isa)) {
+        EXPECT_EQ(klib::ActiveIsa(), isa) << "override " << want;
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, CrossVariantParityGridVsScalarOracle) {
+  // Every compiled vector ISA, both its generic and (n <= kMaxFixedK)
+  // fixed-k tables, against the verbatim scalar oracle. Lengths cover every
+  // fixed-k instantiation plus generic shapes with empty and partial tails.
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{6}, size_t{7}, size_t{8}, size_t{12}, size_t{16},
+                   size_t{20}, size_t{50}}) {
+    const std::vector<double> ref =
+        ApplyAllKernels(klib::TableFor(klib::Isa::kScalar, n), n, 900 + n);
+    for (klib::Isa isa : klib::CompiledIsas()) {
+      if (isa == klib::Isa::kScalar || !klib::IsaAvailable(isa)) continue;
+      for (const klib::KernelTable* kt :
+           {&klib::TableFor(isa, n), &klib::TableFor(isa)}) {
+        const std::vector<double> got = ApplyAllKernels(*kt, n, 900 + n);
+        ASSERT_EQ(got.size(), ref.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i], ref[i], 1e-12)
+              << kt->name << " n=" << n << " flat index " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, VariantsAreBitwiseReproducibleAcrossCallsAndThreads) {
+  for (klib::Isa isa : klib::CompiledIsas()) {
+    if (!klib::IsaAvailable(isa)) continue;
+    for (size_t n : {size_t{5}, size_t{8}, size_t{50}}) {
+      const klib::KernelTable& kt = klib::TableFor(isa, n);
+      const std::vector<double> first = ApplyAllKernels(kt, n, 1300 + n);
+      for (int rep = 0; rep < 3; ++rep) {
+        const std::vector<double> again = ApplyAllKernels(kt, n, 1300 + n);
+        ASSERT_EQ(again.size(), first.size());
+        EXPECT_EQ(0, std::memcmp(again.data(), first.data(),
+                                 first.size() * sizeof(double)))
+            << kt.name << " n=" << n << " rep " << rep;
+      }
+      std::vector<std::vector<double>> per_thread(4);
+      std::vector<std::thread> threads;
+      for (size_t t = 0; t < per_thread.size(); ++t) {
+        threads.emplace_back(
+            [&, t] { per_thread[t] = ApplyAllKernels(kt, n, 1300 + n); });
+      }
+      for (std::thread& t : threads) t.join();
+      for (size_t t = 0; t < per_thread.size(); ++t) {
+        ASSERT_EQ(per_thread[t].size(), first.size());
+        EXPECT_EQ(0, std::memcmp(per_thread[t].data(), first.data(),
+                                 first.size() * sizeof(double)))
+            << kt.name << " n=" << n << " thread " << t;
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, EngineAgreesAcrossIsasEndToEnd) {
+  // Full ForwardBackward under the active tables vs forced-scalar tables,
+  // at a fixed-k shape and a generic shape. This is the in-process
+  // counterpart of the *_scalar_isa ctest registrations (which check the
+  // same property through the environment override).
+  const klib::Isa active = klib::ActiveIsa();
+  for (size_t k : {size_t{6}, size_t{13}}) {
+    const size_t big_t = 40;
+    Chain c = MakeChain(k, big_t, 424200 + k);
+    hmm::ForwardBackwardResult fb_active =
+        hmm::ForwardBackward(c.pi, c.a, c.log_b);
+    ASSERT_TRUE(klib::internal::ForceIsaForTestOnly(klib::Isa::kScalar));
+    hmm::ForwardBackwardResult fb_scalar =
+        hmm::ForwardBackward(c.pi, c.a, c.log_b);
+    ASSERT_TRUE(klib::internal::ForceIsaForTestOnly(active));
+    EXPECT_NEAR(fb_active.log_likelihood, fb_scalar.log_likelihood, 1e-9);
+    for (size_t t = 0; t < big_t; ++t) {
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_NEAR(fb_active.gamma(t, i), fb_scalar.gamma(t, i), 1e-9);
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        EXPECT_NEAR(fb_active.xi_sum(i, j), fb_scalar.xi_sum(i, j), 1e-9);
+      }
+    }
+  }
 }
 
 }  // namespace
