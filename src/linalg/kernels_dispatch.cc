@@ -96,12 +96,11 @@ bool ParseIsaName(const char* s, Isa* out) {
   return false;
 }
 
-struct Resolution {
-  const internal::IsaTables* tables;
-  Isa isa;
-  Isa detected;            ///< best compiled-and-supported ISA
-  const char* override_s;  ///< "none" | the accepted env value
-};
+/// StartupSummary override labels after a ForceIsaForTestOnly swap,
+/// indexed by Isa. Static storage so the atomic const char* below never
+/// points at transient memory.
+constexpr const char* kForcedNames[] = {"forced:scalar", "forced:avx2",
+                                        "forced:avx512"};
 
 Isa DetectBest() {
   if (TablesOrNull(Isa::kAvx512) != nullptr && CpuHasAvx512()) {
@@ -113,52 +112,77 @@ Isa DetectBest() {
   return Isa::kScalar;
 }
 
-Resolution Resolve() {
-  Resolution r;
-  r.detected = DetectBest();
-  r.isa = r.detected;
-  r.override_s = "none";
-  if (const char* env = std::getenv("DHMM_KERNEL_ISA")) {
-    Isa wanted;
-    if (!ParseIsaName(env, &wanted)) {
-      std::fprintf(stderr,
-                   "[dhmm] DHMM_KERNEL_ISA=%s unrecognized "
-                   "(scalar|avx2|avx512); using %s\n",
-                   env, IsaName(r.detected));
-    } else if (!IsaAvailable(wanted)) {
-      std::fprintf(stderr,
-                   "[dhmm] DHMM_KERNEL_ISA=%s not available on this "
-                   "host/build; using %s\n",
-                   env, IsaName(r.detected));
-    } else {
-      r.isa = wanted;
-      r.override_s = IsaName(wanted);
+// isa/tables/override_s are atomic only for ForceIsaForTestOnly: the
+// test-only swap must not be a data race against concurrent Active()/ForK()
+// readers. Production never writes after the constructor, so the loads cost
+// nothing on x86. A reader racing a swap may see fields from both states;
+// each field is individually valid, and bitwise contracts only ever compare
+// runs with no swap in flight (the documented single-threaded-swap rule).
+struct Resolution {
+  std::atomic<const internal::IsaTables*> tables{nullptr};
+  std::atomic<Isa> isa{Isa::kScalar};
+  std::atomic<const char*> override_s{"none"};  ///< "none" | accepted env
+                                                ///< value | "forced:<isa>"
+  Isa detected = Isa::kScalar;  ///< best compiled-and-supported ISA
+
+  Resolution() {
+    detected = DetectBest();
+    Isa chosen = detected;
+    const char* ov = "none";
+    if (const char* env = std::getenv("DHMM_KERNEL_ISA")) {
+      Isa wanted;
+      // An unrecognized value is always a bug in the caller's environment
+      // (a typo would silently re-select the vector path while the caller
+      // believes it pinned scalar), so it fails hard. A recognized but
+      // unavailable ISA stays a warning fallback: the same script must run
+      // on hosts and builds that lack the ISA.
+      if (!ParseIsaName(env, &wanted)) {
+        std::fprintf(stderr,
+                     "[dhmm] fatal: DHMM_KERNEL_ISA=%s unrecognized "
+                     "(scalar|avx2|avx512)\n",
+                     env);
+        std::abort();
+      }
+      if (!IsaAvailable(wanted)) {
+        std::fprintf(stderr,
+                     "[dhmm] DHMM_KERNEL_ISA=%s not available on this "
+                     "host/build; using %s\n",
+                     env, IsaName(detected));
+      } else {
+        chosen = wanted;
+        ov = IsaName(wanted);
+      }
     }
+    const internal::IsaTables* t = TablesOrNull(chosen);
+    DHMM_CHECK(t != nullptr);
+    isa.store(chosen, std::memory_order_relaxed);
+    override_s.store(ov, std::memory_order_relaxed);
+    tables.store(t, std::memory_order_release);
   }
-  r.tables = TablesOrNull(r.isa);
-  DHMM_CHECK(r.tables != nullptr);
-  return r;
-}
+};
 
 /// One-shot resolution state. Function-local static: thread-safe, runs on
 /// first kernel use, and — because every table it selects from is
 /// constant-initialized — safe even when that first use happens inside
 /// another TU's static initializer.
 Resolution& GetResolution() {
-  static Resolution r = Resolve();
+  static Resolution r;
   return r;
 }
 
 }  // namespace
 
-const KernelTable& Active() { return *GetResolution().tables->generic; }
+const KernelTable& Active() {
+  return *GetResolution().tables.load(std::memory_order_acquire)->generic;
+}
 
 const KernelTable& ForK(std::size_t k) {
-  const internal::IsaTables* t = GetResolution().tables;
+  const internal::IsaTables* t =
+      GetResolution().tables.load(std::memory_order_acquire);
   return k <= kMaxFixedK ? *t->by_k[k] : *t->generic;
 }
 
-Isa ActiveIsa() { return GetResolution().isa; }
+Isa ActiveIsa() { return GetResolution().isa.load(std::memory_order_acquire); }
 
 const char* IsaName(Isa isa) {
   switch (isa) {
@@ -200,11 +224,11 @@ const KernelTable& TableFor(Isa isa, std::size_t k) {
 std::string StartupSummary() {
   const Resolution& r = GetResolution();
   std::string s = "isa=";
-  s += IsaName(r.isa);
+  s += IsaName(r.isa.load(std::memory_order_acquire));
   s += " detected=";
   s += IsaName(r.detected);
   s += " override=";
-  s += r.override_s;
+  s += r.override_s.load(std::memory_order_acquire);
   s += " fixed_k<=";
   s += std::to_string(kMaxFixedK);
   return s;
@@ -225,8 +249,13 @@ const IsaTables& ScalarTables() { return kScalarTables; }
 bool ForceIsaForTestOnly(Isa isa) {
   if (!IsaAvailable(isa)) return false;
   Resolution& r = GetResolution();
-  r.isa = isa;
-  r.tables = TablesOrNull(isa);
+  // "forced:<isa>" (even when restoring the startup choice) keeps
+  // StartupSummary() honest: a summary read after any swap is attributable
+  // to the swap, never mistaken for the startup resolution.
+  r.override_s.store(kForcedNames[static_cast<int>(isa)],
+                     std::memory_order_relaxed);
+  r.isa.store(isa, std::memory_order_relaxed);
+  r.tables.store(TablesOrNull(isa), std::memory_order_release);
   return true;
 }
 

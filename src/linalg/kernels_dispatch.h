@@ -8,8 +8,10 @@
 //
 //  - The active ISA is resolved exactly once per process, on first use,
 //    from CPU feature detection — overridable with DHMM_KERNEL_ISA=
-//    scalar|avx2|avx512 (an unavailable or unrecognized value logs a
-//    warning to stderr and falls back to the best detected ISA). After
+//    scalar|avx2|avx512. An unrecognized value aborts (a typo must never
+//    silently re-select the vector path a caller believes it pinned off);
+//    a recognized value the host/build lacks logs a warning to stderr and
+//    falls back to the best detected ISA. After
 //    resolution every call site reads function pointers out of a fixed
 //    table: no per-call ISA branch reaches any inner loop.
 //  - Tables are keyed on (ISA, k-class). ForK(k) returns the fully
@@ -146,10 +148,12 @@ const IsaTables* Avx2Tables();
 const IsaTables* Avx512Tables();
 
 /// Test/bench-only: re-points the process-wide active tables at `isa`
-/// (which must be available). NOT thread-safe against concurrent kernel
-/// callers — per-ISA benches and tests swap while single-threaded, then
-/// restore. Returns false when the ISA is unavailable. Production code
-/// must never call this; the one-shot startup resolution is the contract.
+/// (which must be available) and re-labels StartupSummary()'s override
+/// field "forced:<isa>". The swap is data-race-free (the resolution state
+/// is atomic), but a reader overlapping a swap may observe a mix of old
+/// and new fields — per-ISA benches and tests swap while single-threaded,
+/// then restore. Returns false when the ISA is unavailable. Production
+/// code must never call this; one-shot startup resolution is the contract.
 bool ForceIsaForTestOnly(Isa isa);
 
 }  // namespace internal

@@ -21,6 +21,17 @@
 // order; ExpShiftRow uses the shared PolyExp evaluation (every element
 // independent, see kernels_poly_exp.h). This header is included only by
 // the ISA variant TUs — the scalar oracle never routes through it.
+//
+// Everything below that generates code sits in an anonymous namespace ON
+// PURPOSE: the including TUs are compiled with different ISA flags
+// (-mavx2 vs -mavx512f), and ordinary template instantiations would get
+// vague (COMDAT) linkage — the linker would keep ONE arbitrary copy per
+// symbol, so an AVX-512-codegen copy could be linked into the AVX2
+// dispatch tables and SIGILL on AVX2-only CPUs. Internal linkage gives
+// each variant TU its own ISA-consistent instantiations (distinct
+// symbols, never merged). The duplication is intended and the results
+// are still bitwise identical across TUs: the tree grouping is explicit
+// in the source, so strict IEEE semantics pin every rounding.
 #ifndef DHMM_LINALG_KERNELS_FIXED_K_H_
 #define DHMM_LINALG_KERNELS_FIXED_K_H_
 
@@ -31,6 +42,18 @@
 #include "linalg/kernels_poly_exp.h"
 
 namespace dhmm::linalg::kernels::fixed_k {
+
+// Pure constant data (no codegen) — safe to share across the variant TUs,
+// so these two stay outside the anonymous namespace below.
+/// Display names for the fixed-k tables, indexable by K ([0] = generic).
+inline constexpr const char* kAvx2FixedNames[kMaxFixedK + 1] = {
+    "avx2",    "avx2/k1", "avx2/k2", "avx2/k3", "avx2/k4",
+    "avx2/k5", "avx2/k6", "avx2/k7", "avx2/k8"};
+inline constexpr const char* kAvx512FixedNames[kMaxFixedK + 1] = {
+    "avx512",    "avx512/k1", "avx512/k2", "avx512/k3", "avx512/k4",
+    "avx512/k5", "avx512/k6", "avx512/k7", "avx512/k8"};
+
+namespace {
 
 namespace detail {
 
@@ -165,14 +188,6 @@ struct FixedK {
   }
 };
 
-/// Display names for the fixed-k tables, indexable by K ([0] = generic).
-inline constexpr const char* kAvx2FixedNames[kMaxFixedK + 1] = {
-    "avx2",    "avx2/k1", "avx2/k2", "avx2/k3", "avx2/k4",
-    "avx2/k5", "avx2/k6", "avx2/k7", "avx2/k8"};
-inline constexpr const char* kAvx512FixedNames[kMaxFixedK + 1] = {
-    "avx512",    "avx512/k1", "avx512/k2", "avx512/k3", "avx512/k4",
-    "avx512/k5", "avx512/k6", "avx512/k7", "avx512/k8"};
-
 /// Builds the (isa, K) table entry; `name` must outlive the table.
 /// constexpr so the per-ISA tables are constant-initialized (no static
 /// initialization order hazards when dispatch resolves during another
@@ -197,6 +212,8 @@ constexpr KernelTable MakeFixedTable(Isa isa, const char* name) {
   t.fixed_k = K;
   return t;
 }
+
+}  // namespace
 
 }  // namespace dhmm::linalg::kernels::fixed_k
 

@@ -18,7 +18,12 @@
 // a denormal there, a <= 1e-308 absolute difference), NaN propagates.
 //
 // The scalar oracle in kernels.cc keeps calling std::exp — this header is
-// deliberately used only by the non-scalar variants.
+// deliberately used only by the non-scalar variants. Those TUs are compiled
+// with different ISA flags, so PolyExpPow2/PolyExp live in an anonymous
+// namespace: ordinary inline functions would get vague (COMDAT) linkage and
+// the linker could keep an AVX-512-codegen copy for the AVX2 path (SIGILL
+// on AVX2-only CPUs). Internal linkage keeps each TU's copy ISA-consistent;
+// the fixed operation order makes every copy bitwise identical anyway.
 #ifndef DHMM_LINALG_KERNELS_POLY_EXP_H_
 #define DHMM_LINALG_KERNELS_POLY_EXP_H_
 
@@ -44,6 +49,8 @@ inline constexpr double kPolyExpQ3 = 2.00000000000000000005e0;
 /// return exactly 0.0 instead of entering the denormal range.
 inline constexpr double kPolyExpUnderflow = -708.0;
 
+namespace {
+
 /// 2^n for integral n in [-1021, 1], via the IEEE-754 exponent field.
 inline double PolyExpPow2(long long n) {
   const uint64_t bits = static_cast<uint64_t>(n + 1023) << 52;
@@ -66,6 +73,8 @@ inline double PolyExp(double y) {
   const double e = 1.0 + 2.0 * p / (q - p);
   return e * PolyExpPow2(static_cast<long long>(nf));
 }
+
+}  // namespace
 
 }  // namespace dhmm::linalg::kernels
 

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -508,6 +509,21 @@ TEST(DispatchTest, ResolutionIsOneShotAndHonorsEnvOverride) {
       }
     }
   }
+}
+
+TEST(DispatchTest, StartupSummaryReportsActiveResolution) {
+  const std::string s = klib::StartupSummary();
+  // Printed to stdout so wrappers can assert the *observed* resolution
+  // instead of trusting their own env plumbing: CI's scalar-pinned rerun
+  // greps this line for "isa=scalar" — a mistyped env *name* there would
+  // otherwise silently re-test the vector path (a mistyped env *value*
+  // already aborts at resolution).
+  std::printf("kernel dispatch: %s\n", s.c_str());
+  std::fflush(stdout);
+  EXPECT_EQ(s.rfind("isa=" + std::string(klib::ActiveIsaName()) + " ", 0), 0u)
+      << s;
+  EXPECT_NE(s.find(" detected="), std::string::npos) << s;
+  EXPECT_NE(s.find(" override="), std::string::npos) << s;
 }
 
 TEST(DispatchTest, CrossVariantParityGridVsScalarOracle) {
