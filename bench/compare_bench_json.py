@@ -11,11 +11,17 @@ emits). Benchmarks are matched by full name (including args, e.g.
 prints old/new wall time and the ratio, and flags entries whose slowdown
 exceeds --threshold (default 1.25x).
 
-Exit status is 0 unless --strict is given, in which case flagged
-regressions (or an empty intersection) exit 1. CI runs without --strict:
-smoke-budget timings are trend indicators, not gates, and the comparison
-step is continue-on-error anyway so a missing artifact never blocks a
-merge.
+Benchmarks present in only one snapshot get an explicit added/removed
+section. Removed benches (in OLD but not NEW) always exit 1: a bench
+that silently disappears is lost coverage, not a timing trend, so it
+must not pass unnoticed even in advisory mode. Added benches are
+informational.
+
+Beyond that, exit status is 0 unless --strict is given, in which case
+flagged regressions (or an empty intersection) also exit 1. CI runs
+without --strict: smoke-budget timings are trend indicators, not gates,
+and the comparison step is continue-on-error anyway so a missing
+artifact never blocks a merge.
 """
 
 import argparse
@@ -82,38 +88,54 @@ def main():
     old = load_benchmarks(args.old)
     new = load_benchmarks(args.new)
     common = sorted(set(old) & set(new))
-    if not common:
-        print("no comparable benchmarks between the two snapshots")
-        return 1 if args.strict else 0
-
-    width = max(len(name) for name in common)
-    flagged = []
-    print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  ratio")
-    for name in common:
-        ratio = new[name] / old[name] if old[name] > 0 else float("inf")
-        marker = ""
-        if ratio > args.threshold:
-            marker = "  <-- regression"
-            flagged.append((name, ratio))
-        print(
-            f"{name:<{width}}  {format_ns(old[name]):>10}  "
-            f"{format_ns(new[name]):>10}  {ratio:5.2f}x{marker}"
-        )
-
-    gone = sorted(set(old) - set(new))
+    removed = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))
-    if gone:
-        print(f"\nnot in new snapshot: {', '.join(gone)}")
+
+    flagged = []
+    if common:
+        width = max(len(name) for name in common)
+        print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  ratio")
+        for name in common:
+            ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+            marker = ""
+            if ratio > args.threshold:
+                marker = "  <-- regression"
+                flagged.append((name, ratio))
+            print(
+                f"{name:<{width}}  {format_ns(old[name]):>10}  "
+                f"{format_ns(new[name]):>10}  {ratio:5.2f}x{marker}"
+            )
+    else:
+        print("no comparable benchmarks between the two snapshots")
+
+    # Coverage drift, listed explicitly so it can never hide in a diff of
+    # timing rows. Removed benches are a hard failure whatever the mode.
     if added:
-        print(f"new benchmarks: {', '.join(added)}")
+        print(f"\nadded ({len(added)} benchmark(s) only in new):")
+        for name in added:
+            print(f"  + {name}")
+    if removed:
+        print(f"\nremoved ({len(removed)} benchmark(s) only in old):")
+        for name in removed:
+            print(f"  - {name}")
 
     if flagged:
         print(
             f"\n{len(flagged)} benchmark(s) slower than "
             f"{args.threshold:.2f}x the baseline"
         )
-        return 1 if args.strict else 0
-    print(f"\nno regressions beyond {args.threshold:.2f}x")
+    elif common:
+        print(f"\nno regressions beyond {args.threshold:.2f}x")
+
+    if removed:
+        print(
+            f"error: {len(removed)} benchmark(s) disappeared from the new "
+            "snapshot — a dropped bench is lost coverage, not a trend",
+            file=sys.stderr,
+        )
+        return 1
+    if args.strict and (flagged or not common):
+        return 1
     return 0
 
 

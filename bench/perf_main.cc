@@ -3,16 +3,66 @@
 // records which kernel dispatch variant produced its numbers (an avx512
 // run and a DHMM_KERNEL_ISA=scalar run are different experiments and must
 // never be compared as one series).
+//
+// When the run writes a --benchmark_out=FOO.json snapshot, the rendered
+// obs snapshot (every process-wide counter/gauge/histogram the run
+// touched) lands next to it as FOO.stats.json — the post-run counterpart
+// of the pre-run context, since benchmark context is emitted before the
+// runs execute. CI uploads both with the same BENCH_*.json artifact glob.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "linalg/kernels_dispatch.h"
+#include "obs/metrics.h"
+#include "obs/startup.h"
+
+namespace {
+
+// --benchmark_out=PATH or --benchmark_out PATH, scanned before
+// benchmark::Initialize consumes the flag.
+std::string BenchmarkOutPath(int argc, char** argv) {
+  const std::string flag = "--benchmark_out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+  }
+  return std::string();
+}
+
+std::string StatsSidecarPath(const std::string& out_path) {
+  const std::string suffix = ".json";
+  std::string base = out_path;
+  if (base.size() >= suffix.size() &&
+      base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    base.resize(base.size() - suffix.size());
+  }
+  return base + ".stats.json";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  const std::string out_path = BenchmarkOutPath(argc, argv);
+  dhmm::obs::LogStartup();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("kernel_isa",
                               dhmm::linalg::kernels::ActiveIsaName());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!out_path.empty()) {
+    const std::string stats = dhmm::obs::RenderJson(
+        dhmm::obs::Registry::Global().TakeSnapshot());
+    const std::string sidecar = StatsSidecarPath(out_path);
+    if (std::FILE* f = std::fopen(sidecar.c_str(), "w")) {
+      std::fprintf(f, "%s\n", stats.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", sidecar.c_str());
+    }
+  }
   return 0;
 }

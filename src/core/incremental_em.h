@@ -38,6 +38,7 @@
 #include "hmm/estep_accumulator.h"
 #include "hmm/model.h"
 #include "hmm/sequence.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -108,6 +109,10 @@ class IncrementalEmTrainer {
     update_opts_.row_floor = options_.row_floor;
     acc_.Reset(model_.num_states());
     qrow_.Resize(model_.num_states());
+    obs::Registry& reg = obs::Registry::Global();
+    m_steps_ = reg.GetCounter("trainer.steps");
+    m_snapshots_ = reg.GetCounter("trainer.snapshots_published");
+    g_last_loglik_ = reg.GetGauge("trainer.last_round_loglik");
   }
 
   IncrementalEmTrainer(const IncrementalEmTrainer&) = delete;
@@ -220,9 +225,15 @@ class IncrementalEmTrainer {
       model_.emission->FinishAccumulate();
     }
     round_open_ = false;
+    // The round's batch log-likelihood, exported before the accumulator
+    // reset wipes it (stream frames do not contribute; see
+    // round_log_likelihood()).
+    g_last_loglik_->Set(acc_.log_likelihood);
     acc_.Reset(model_.num_states());
     ++steps_;
+    m_steps_->Add();
     snapshot_ = std::make_shared<const hmm::HmmModel<Obs>>(model_);
+    m_snapshots_->Add();
     return snapshot_;
   }
 
@@ -268,6 +279,11 @@ class IncrementalEmTrainer {
   linalg::Vector qrow_;    // scratch posterior row for stream frames
   bool round_open_ = false;
   uint64_t steps_ = 0;
+
+  // Process-wide metrics (obs/metrics.h): registered once at construction.
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_snapshots_ = nullptr;
+  obs::Gauge* g_last_loglik_ = nullptr;
 };
 
 }  // namespace dhmm::core

@@ -234,14 +234,6 @@ std::string StartupSummary() {
   return s;
 }
 
-void LogStartupOnce() {
-  static std::once_flag flag;
-  std::call_once(flag, [] {
-    std::fprintf(stderr, "[dhmm] kernel dispatch: %s\n",
-                 StartupSummary().c_str());
-  });
-}
-
 namespace internal {
 
 const IsaTables& ScalarTables() { return kScalarTables; }

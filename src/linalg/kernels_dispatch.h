@@ -124,13 +124,11 @@ const KernelTable& TableFor(Isa isa);
 const KernelTable& TableFor(Isa isa, std::size_t k);
 
 /// One-line resolution report, e.g.
-/// "isa=avx512 detected=avx512 override=none fixed_k<=8".
+/// "isa=avx512 detected=avx512 override=none fixed_k<=8". The unified
+/// process startup line (obs/startup.h) embeds this verbatim — serving
+/// front ends and benches log through obs::LogStartup(), which also
+/// exports the resolved ISA as a gauge.
 std::string StartupSummary();
-
-/// Writes "[dhmm] kernel dispatch: <StartupSummary()>" to stderr, once per
-/// process. Serving front ends call this on construction so the selected
-/// ISA is attributable in service logs.
-void LogStartupOnce();
 
 namespace internal {
 

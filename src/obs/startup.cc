@@ -1,0 +1,25 @@
+#include "obs/startup.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "linalg/kernels_dispatch.h"
+#include "obs/metrics.h"
+
+namespace dhmm::obs {
+
+std::string StartupLine() {
+  return "[dhmm] startup: kernels " + linalg::kernels::StartupSummary();
+}
+
+void LogStartup() {
+  Registry::Global().GetGauge("startup.kernel_isa")
+      ->Set(static_cast<double>(
+          static_cast<int>(linalg::kernels::ActiveIsa())));
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    std::fprintf(stderr, "%s\n", StartupLine().c_str());
+  });
+}
+
+}  // namespace dhmm::obs

@@ -47,7 +47,8 @@
 #include "hmm/model.h"
 #include "hmm/posterior_decoding.h"
 #include "hmm/serialization.h"
-#include "linalg/kernels_dispatch.h"
+#include "obs/metrics.h"
+#include "obs/startup.h"
 #include "serve/request.h"
 #include "store/dual_slot.h"
 #include "util/check.h"
@@ -191,9 +192,20 @@ class DecodeService {
     DHMM_CHECK_MSG(model != nullptr, "DecodeService requires a model");
     model->Validate();
     model_ = std::move(model);
-    // Make the resolved kernel ISA attributable in service logs (no-op
-    // after the first front end constructed in the process).
-    linalg::kernels::LogStartupOnce();
+    // Make the resolved kernel ISA attributable in service logs and in the
+    // stats snapshot (line printed once per process, gauge refreshed).
+    obs::LogStartup();
+    obs::Registry& reg = obs::Registry::Global();
+    m_requests_ = reg.GetCounter("decode.requests");
+    m_batches_ = reg.GetCounter("decode.batches");
+    m_hot_swaps_ = reg.GetCounter("decode.hot_swaps");
+    m_by_kind_[0] = reg.GetCounter("decode.requests.viterbi");
+    m_by_kind_[1] = reg.GetCounter("decode.requests.posterior");
+    m_by_kind_[2] = reg.GetCounter("decode.requests.loglik");
+    m_by_kind_[3] = reg.GetCounter("decode.requests.session_push");
+    m_by_kind_[4] = reg.GetCounter("decode.requests.stats");
+    m_batch_size_ = reg.GetHistogram("decode.batch_size");
+    m_coalesce_depth_ = reg.GetGauge("decode.coalesce_depth");
     // One std::function for the lifetime of the service: the only capture
     // is `this`, so the callable stays in std::function's inline storage
     // and batch dispatch never touches the allocator.
@@ -243,6 +255,13 @@ class DecodeService {
       slot->done = false;
       pending_.push_back(slot);
     }
+    // Process-wide per-kind counts (obs/metrics.h): one relaxed add per
+    // request, clamped so a kind byte beyond the enum can never index out
+    // of the table (recording never aborts).
+    const size_t kind_ix = std::min<size_t>(static_cast<size_t>(req.kind),
+                                            kNumKindCounters - 1);
+    m_by_kind_[kind_ix]->Add();
+    m_requests_->Add();
     pending_cv_.notify_one();
     return DecodeFuture<Obs>(this, slot);
   }
@@ -266,9 +285,12 @@ class DecodeService {
   void UpdateModel(std::shared_ptr<const hmm::HmmModel<Obs>> model) {
     DHMM_CHECK_MSG(model != nullptr, "UpdateModel requires a model");
     model->Validate();
-    std::lock_guard<std::mutex> lock(mu_);
-    model_ = std::move(model);
-    ++model_version_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      model_ = std::move(model);
+      ++model_version_;
+    }
+    m_hot_swaps_->Add();
   }
 
   /// \brief Loads a checkpoint and hot-swaps it in: a binary store file or
@@ -298,6 +320,12 @@ class DecodeService {
 
   /// Resolved worker parallelism.
   int num_threads() const { return pool_.num_threads(); }
+
+  /// The "decode." slice of the process-wide metrics snapshot, rendered as
+  /// text (obs/metrics.h). Allocates; for diagnostics, not the hot path.
+  std::string StatsString() const {
+    return obs::RenderText(obs::Registry::Global().TakeSnapshot("decode."));
+  }
 
   // Counters (dispatcher-written, safe to read from any thread).
   uint64_t requests_served() const {
@@ -356,8 +384,13 @@ class DecodeService {
         pending_cv_.wait(lock,
                          [&] { return shutdown_ || !pending_.empty(); });
         if (pending_.empty()) return;  // shutdown, drained
+        // Coalesce depth = backlog visible when the batch is cut; how much
+        // of it one batch absorbs is bounded by max_batch.
+        m_coalesce_depth_->Set(static_cast<double>(pending_.size()));
         CutBatchLocked();
       }
+      m_batches_->Add();
+      m_batch_size_->Record(batch_.size());
       // The dispatcher participates as worker 0, so num_threads == 1 runs
       // the whole batch inline with no cross-thread traffic.
       pool_.ParallelFor(batch_.size(), batch_fn_);
@@ -388,6 +421,7 @@ class DecodeService {
     r.kind = slot->kind;
     r.model_version = batch_version_;
     r.path.clear();
+    r.text.clear();  // slots recycle; a stale snapshot must not leak out
     r.value = 0.0;
     if (slot->obs->empty()) {
       r.status = Status::InvalidArgument("empty observation sequence");
@@ -449,6 +483,12 @@ class DecodeService {
             "kSessionPush is not a batch decode; enable sessions on the "
             "front-end");
         break;
+      case DecodeKind::kStats:
+        // Stats queries read process-wide state; the front-end serves them
+        // inline without routing to any decode service.
+        r.status = Status::InvalidArgument(
+            "kStats is not a batch decode; the front-end serves it");
+        break;
     }
     if (!r.status.ok()) r.path.clear();
   }
@@ -476,6 +516,17 @@ class DecodeService {
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> batches_dispatched_{0};
   std::atomic<size_t> largest_batch_{0};
+
+  // Process-wide metrics (obs/metrics.h): registered once at construction,
+  // bumped with relaxed atomics on the hot path. One per-kind slot per wire
+  // kind; Submit clamps into the table so recording never aborts.
+  static constexpr size_t kNumKindCounters = 5;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_hot_swaps_ = nullptr;
+  obs::Counter* m_by_kind_[kNumKindCounters] = {};
+  obs::Histogram* m_batch_size_ = nullptr;
+  obs::Gauge* m_coalesce_depth_ = nullptr;
 };
 
 }  // namespace dhmm::serve

@@ -56,7 +56,8 @@
 #include <utility>
 #include <vector>
 
-#include "linalg/kernels_dispatch.h"
+#include "obs/metrics.h"
+#include "obs/startup.h"
 #include "serve/decode_service.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
@@ -126,6 +127,23 @@ class FrontEnd {
                     const FrontEndOptions& options = {})
       : options_(options), registry_(registry) {
     DHMM_CHECK_MSG(registry != nullptr, "FrontEnd requires a registry");
+    // Metric registration is construction-time (allocates, takes the
+    // registry lock); the serving paths only touch the resolved pointers
+    // — one relaxed atomic op each, no allocation.
+    obs::Registry& obs_reg = obs::Registry::Global();
+    m_frames_accepted_ = obs_reg.GetCounter("frontend.frames_accepted");
+    m_frames_malformed_ = obs_reg.GetCounter("frontend.frames_malformed");
+    m_requests_shed_ = obs_reg.GetCounter("frontend.requests_shed");
+    m_deadline_expired_ = obs_reg.GetCounter("frontend.deadline_expired");
+    m_requests_served_ = obs_reg.GetCounter("frontend.requests_served");
+    m_routing_errors_ = obs_reg.GetCounter("frontend.routing_errors");
+    m_by_kind_[0] = obs_reg.GetCounter("frontend.requests.viterbi");
+    m_by_kind_[1] = obs_reg.GetCounter("frontend.requests.posterior");
+    m_by_kind_[2] = obs_reg.GetCounter("frontend.requests.loglik");
+    m_by_kind_[3] = obs_reg.GetCounter("frontend.requests.session_push");
+    m_by_kind_[4] = obs_reg.GetCounter("frontend.requests.stats");
+    m_ring_occupancy_ = obs_reg.GetGauge("frontend.req_ring_occupancy");
+    m_latency_us_ = obs_reg.GetHistogram("frontend.request_latency_us");
   }
 
   ~FrontEnd() { Stop(); }
@@ -137,9 +155,9 @@ class FrontEnd {
   Status Start() {
     DHMM_RETURN_NOT_OK(options_.Validate());
     if (running_) return Status::FailedPrecondition("FrontEnd already started");
-    // Make the resolved kernel ISA attributable in service logs (no-op
-    // after the first front end started in the process).
-    linalg::kernels::LogStartupOnce();
+    // Make the resolved kernel ISA attributable in service logs and the
+    // stats snapshot (the line prints once per process).
+    obs::LogStartup();
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) return Errno("socket");
@@ -232,7 +250,17 @@ class FrontEnd {
     dispatch_cv_.notify_all();
   }
 
-  // Counters.
+  /// \brief Rendered text snapshot of the front-end metric family
+  /// (obs::RenderText over the "frontend." prefix) — the in-process
+  /// counterpart of the kStats wire opcode. Allocates; not a hot path.
+  std::string StatsString() const {
+    return obs::RenderText(
+        obs::Registry::Global().TakeSnapshot("frontend."));
+  }
+
+  // Counters. Per-instance (tests assert absolute values on a fresh
+  // front end); the obs registry accumulates the same events
+  // process-wide under the "frontend." prefix.
   uint64_t requests_served() const { return Load(requests_served_); }
   uint64_t requests_shed() const { return Load(requests_shed_); }
   uint64_t deadline_expired() const { return Load(deadline_expired_); }
@@ -466,11 +494,17 @@ class FrontEnd {
       // Framing is intact (the header parsed and the length matched), so
       // the connection survives a bad payload: respond and move on.
       Bump(protocol_errors_);
+      m_frames_malformed_->Add();
       SynthesizeError(c, h, ps);
       FlushConn(idx);
       ReleaseSlot(slot);
       return;
     }
+    // Accepted = a well-formed frame entering the system (it may still be
+    // shed, expire, or fail routing). The per-kind counters partition
+    // exactly these frames: sum over kinds == frames_accepted.
+    m_frames_accepted_->Add();
+    m_by_kind_[static_cast<size_t>(h.decode_kind())]->Add();
     slot->request_id = h.request_id;
     slot->model = h.model;
     slot->kind = h.decode_kind();
@@ -480,6 +514,7 @@ class FrontEnd {
     slot->conn_generation = c.generation;
     if (!req_ring_->TryPush(slot)) {
       Bump(requests_shed_);
+      m_requests_shed_->Add();
       SynthesizeError(c, h,
                       Status::Unavailable("request queue full — shed"));
       FlushConn(idx);
@@ -495,13 +530,14 @@ class FrontEnd {
   void SynthesizeError(Conn& c, const wire::FrameHeader& h, Status st) {
     scratch_resp_.request_id = h.request_id;
     scratch_resp_.kind =
-        h.kind <= static_cast<uint8_t>(DecodeKind::kSessionPush)
+        h.kind <= static_cast<uint8_t>(DecodeKind::kStats)
             ? h.decode_kind()
             : DecodeKind::kViterbi;
     scratch_resp_.status = std::move(st);
     scratch_resp_.path.clear();
     scratch_resp_.value = 0.0;
     scratch_resp_.model_version = 0;
+    scratch_resp_.text.clear();
     WriteResponse(c, scratch_resp_, h.model);
   }
 
@@ -534,6 +570,13 @@ class FrontEnd {
   void DrainDoneRing() {
     ReqSlot* slot = nullptr;
     while (done_ring_->TryPop(&slot)) {
+      // Per-request latency: frame fully parsed -> response ready to
+      // write. One clock read + one relaxed striped increment per
+      // response; no allocation.
+      m_latency_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - slot->arrival)
+              .count()));
       Conn& c = conns_[slot->conn_index];
       if (c.generation == slot->conn_generation && c.open) {
         WriteResponse(c, slot->resp, slot->model);
@@ -587,6 +630,9 @@ class FrontEnd {
         dispatcher_sleeping_.store(false, std::memory_order_release);
         continue;
       }
+      // Ring depth after the group was cut: what is still waiting.
+      m_ring_occupancy_->Set(
+          static_cast<double>(req_ring_->size_approx()));
       DispatchGroup();
     }
   }
@@ -604,13 +650,27 @@ class FrontEnd {
       r.path.clear();
       r.value = 0.0;
       r.model_version = 0;
+      r.text.clear();
       if (slot->deadline_micros != 0 &&
           now - slot->arrival >=
               std::chrono::microseconds(slot->deadline_micros)) {
         Bump(deadline_expired_);
+        m_deadline_expired_->Add();
         r.status = Status::DeadlineExceeded(
             "deadline expired before dispatch");
         futures_.emplace_back();  // invalid future = pre-resolved slot
+        services_.emplace_back();
+        continue;
+      }
+      if (slot->kind == DecodeKind::kStats) {
+        // Stats queries are served inline by the front end itself: the
+        // snapshot is process state, not a model decode. Allocates (the
+        // rendered text) — an operator surface, not a steady-state path.
+        r.text = obs::RenderText(obs::Registry::Global().TakeSnapshot());
+        r.status = Status::OK();
+        Bump(requests_served_);
+        m_requests_served_->Add();
+        futures_.emplace_back();
         services_.emplace_back();
         continue;
       }
@@ -627,6 +687,7 @@ class FrontEnd {
           registry_->Acquire(slot->model);
       if (!svc.ok()) {
         Bump(routing_errors_);
+        m_routing_errors_->Add();
         r.status = svc.status();
         futures_.emplace_back();
         services_.emplace_back();
@@ -651,6 +712,7 @@ class FrontEnd {
         slot->resp.path.assign(result.path.begin(), result.path.end());
         futures_[i].Release();
         Bump(requests_served_);
+        m_requests_served_->Add();
       }
       // Responses must never be dropped: spin until the return ring has
       // room (the IO thread is draining it). On shutdown the IO thread is
@@ -677,12 +739,14 @@ class FrontEnd {
     DecodeResponse& r = slot->resp;
     if (sessions_ == nullptr) {
       Bump(routing_errors_);
+      m_routing_errors_->Add();
       r.status = Status::FailedPrecondition(
           "sessions are not enabled on this front-end");
       return;
     }
     if (slot->model != session_model_) {
       Bump(routing_errors_);
+      m_routing_errors_->Add();
       r.status = Status::NotFound("session pushes serve model id " +
                                   std::to_string(session_model_) + " only");
       return;
@@ -732,6 +796,7 @@ class FrontEnd {
       if (h != kInvalidSessionHandle) (void)sessions_->DestroySession(h);
       wire_sessions_.erase(it);
       Bump(routing_errors_);
+      m_routing_errors_->Add();
       r.status = std::move(st);
       r.path.clear();
       return;
@@ -743,6 +808,7 @@ class FrontEnd {
     r.model_version = sessions_->model_version();
     r.status = Status::OK();
     Bump(requests_served_);
+    m_requests_served_->Add();
   }
 
   const FrontEndOptions options_;
@@ -785,6 +851,17 @@ class FrontEnd {
   std::atomic<bool> stop_{false};
   std::thread io_thread_;
   std::thread dispatcher_;
+
+  // Obs metric pointers, resolved once at construction (see metrics.h).
+  obs::Counter* m_frames_accepted_ = nullptr;
+  obs::Counter* m_frames_malformed_ = nullptr;
+  obs::Counter* m_requests_shed_ = nullptr;
+  obs::Counter* m_deadline_expired_ = nullptr;
+  obs::Counter* m_requests_served_ = nullptr;
+  obs::Counter* m_routing_errors_ = nullptr;
+  obs::Counter* m_by_kind_[5] = {};  // indexed by DecodeKind wire value
+  obs::Gauge* m_ring_occupancy_ = nullptr;
+  obs::Histogram* m_latency_us_ = nullptr;
 
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_shed_{0};

@@ -38,6 +38,7 @@
 
 #include "hmm/model.h"
 #include "hmm/serialization.h"
+#include "obs/metrics.h"
 #include "serve/decode_service.h"
 #include "serve/request.h"
 #include "store/dual_slot.h"
@@ -76,6 +77,11 @@ class ModelRegistry {
       : options_(options) {
     const Status opt_st = options.Validate();
     DHMM_CHECK_MSG(opt_st.ok(), opt_st.message().c_str());
+    obs::Registry& reg = obs::Registry::Global();
+    m_cold_loads_ = reg.GetCounter("registry.cold_loads");
+    m_failed_reloads_ = reg.GetCounter("registry.failed_reloads");
+    m_evictions_ = reg.GetCounter("registry.evictions");
+    g_resident_ = reg.GetGauge("registry.resident");
   }
 
   ModelRegistry(const ModelRegistry&) = delete;
@@ -157,7 +163,10 @@ class ModelRegistry {
       if (entries_.find(id) == entries_.end()) return UnknownModel(id);
     }
     Result<hmm::HmmModel<Obs>> loaded = store::LoadAnyModel<Obs>(path);
-    if (!loaded.ok()) return loaded.status();
+    if (!loaded.ok()) {
+      m_failed_reloads_->Add();
+      return loaded.status();
+    }
     DHMM_RETURN_NOT_OK(UpdateModel(
         id, std::make_shared<const hmm::HmmModel<Obs>>(
                 std::move(loaded).value())));
@@ -198,11 +207,15 @@ class ModelRegistry {
             "model evicted with no checkpoint path: " + std::to_string(id));
       }
       Result<hmm::HmmModel<Obs>> loaded = store::LoadAnyModel<Obs>(e.path);
-      if (!loaded.ok()) return loaded.status();
+      if (!loaded.ok()) {
+        m_failed_reloads_->Add();
+        return loaded.status();
+      }
       e.service = std::make_shared<DecodeService<Obs>>(
           std::make_shared<const hmm::HmmModel<Obs>>(
               std::move(loaded).value()),
           options_.service);
+      m_cold_loads_->Add();
       // The cold load made a new resident: someone else may have to go.
       e.tick = ++tick_;
       EnforceCapLocked();
@@ -234,6 +247,8 @@ class ModelRegistry {
           "cannot evict a pinned model: " + std::to_string(id));
     }
     it->second.service.reset();
+    m_evictions_->Add();
+    RefreshResidentLocked();
     return Status::OK();
   }
 
@@ -260,7 +275,16 @@ class ModelRegistry {
           "every resident model is pinned — nothing evictable");
     }
     victim->service.reset();  // drains in-flight work in the destructor
+    m_evictions_->Add();
+    RefreshResidentLocked();
     return Status::OK();
+  }
+
+  /// The "registry." slice of the process-wide metrics snapshot, rendered
+  /// as text (obs/metrics.h). Allocates; for diagnostics, not the hot path.
+  std::string StatsString() const {
+    return obs::RenderText(
+        obs::Registry::Global().TakeSnapshot("registry."));
   }
 
   /// Per-model version: 1 at Register, bumped by every UpdateModel /
@@ -304,7 +328,9 @@ class ModelRegistry {
 
   // Evicts least-recently-acquired unpinned residents until the cap
   // holds. Caller holds mu_. Stops early when only pinned models remain —
-  // pinned-hot capacity overrides the cap by design.
+  // pinned-hot capacity overrides the cap by design. Every path that
+  // changes residency funnels through here (or the explicit Evict forms),
+  // so the resident gauge is refreshed on the way out.
   void EnforceCapLocked() {
     for (;;) {
       size_t resident = 0;
@@ -315,15 +341,32 @@ class ModelRegistry {
         if (e.pinned) continue;
         if (victim == nullptr || e.tick < victim->tick) victim = &e;
       }
-      if (resident <= options_.max_resident || victim == nullptr) return;
+      if (resident <= options_.max_resident || victim == nullptr) {
+        g_resident_->Set(static_cast<double>(resident));
+        return;
+      }
       victim->service.reset();  // drains in-flight work in the destructor
+      m_evictions_->Add();
     }
+  }
+
+  // Recounts residents into the gauge. Caller holds mu_.
+  void RefreshResidentLocked() {
+    size_t resident = 0;
+    for (const auto& [id, e] : entries_) resident += e.service != nullptr;
+    g_resident_->Set(static_cast<double>(resident));
   }
 
   const ModelRegistryOptions options_;
   mutable std::mutex mu_;
   std::map<ModelId, Entry> entries_;
   uint64_t tick_ = 0;
+
+  // Process-wide metrics (obs/metrics.h): registered once at construction.
+  obs::Counter* m_cold_loads_ = nullptr;
+  obs::Counter* m_failed_reloads_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Gauge* g_resident_ = nullptr;
 };
 
 }  // namespace dhmm::serve

@@ -31,6 +31,12 @@ enum class DecodeKind : uint8_t {
   /// Front-end only — DecodeService rejects it (a session is per-stream
   /// state, not a stateless batch decode).
   kSessionPush = 3,
+  /// Stats query: the response's `text` carries the process's rendered
+  /// obs::Registry snapshot (obs::RenderText). The observation payload is
+  /// ignored (send an empty sequence) and the model id is not routed.
+  /// Front-end only — DecodeService rejects it (stats are process state,
+  /// not a batch decode).
+  kStats = 4,
 };
 
 /// \brief One decode request — in-process and on the wire.
@@ -63,6 +69,11 @@ struct DecodeResponse {
   std::vector<int> path;     ///< kViterbi / kPosterior; empty otherwise
   double value = 0.0;        ///< log joint (Viterbi) or log-likelihood
   uint64_t model_version = 0;  ///< which model snapshot served the request
+  /// kStats payload: the rendered metrics snapshot. On the wire it rides
+  /// the message field (which error responses use for the status
+  /// message), so the frame layout is unchanged: an OK response encodes
+  /// `text`, a non-OK response encodes status.message().
+  std::string text;
 };
 
 }  // namespace dhmm::serve

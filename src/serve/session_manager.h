@@ -54,6 +54,7 @@
 #include "hmm/inference.h"
 #include "hmm/model.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
 #include "serve/stream_math.h"
 #include "util/check.h"
 #include "util/slab_arena.h"
@@ -102,6 +103,14 @@ class SessionManager {
     DHMM_CHECK_MSG(opt_st.ok(), opt_st.message().c_str());
     DHMM_CHECK_MSG(model != nullptr, "SessionManager requires a model");
     ctx_ = MakeContext(std::move(model), /*version=*/1);
+    obs::Registry& reg = obs::Registry::Global();
+    m_created_ = reg.GetCounter("sessions.created");
+    m_destroyed_ = reg.GetCounter("sessions.destroyed");
+    m_evicted_ = reg.GetCounter("sessions.evicted");
+    m_pushes_ = reg.GetCounter("sessions.pushes");
+    g_live_ = reg.GetGauge("sessions.live");
+    g_inflight_ = reg.GetGauge("sessions.inflight");
+    g_slab_bytes_ = reg.GetGauge("sessions.slab_bytes");
   }
 
   SessionManager(const SessionManager&) = delete;
@@ -135,6 +144,8 @@ class SessionManager {
     ResetStreamState(&s);
     s.last_active = ++ticks_;
     ++live_;
+    m_created_->Add();
+    g_live_->Set(static_cast<double>(live_));
     return MakeHandle(idx, s.generation);
   }
 
@@ -176,7 +187,10 @@ class SessionManager {
       s->inflight.fetch_add(1, std::memory_order_relaxed);
       trainer = trainer_;  // snapshot under mu_; the body runs outside it
     }
+    m_pushes_->Add();
+    g_inflight_->Add(1.0);
     const Status st = PushHeld(s, y, label_out, trainer);
+    g_inflight_->Add(-1.0);
     s->inflight.fetch_sub(1, std::memory_order_release);
     return st;
   }
@@ -195,7 +209,9 @@ class SessionManager {
       s->last_active = ++ticks_;
       s->inflight.fetch_add(1, std::memory_order_relaxed);
     }
+    g_inflight_->Add(1.0);
     const Status st = FinishHeld(s, tail);
+    g_inflight_->Add(-1.0);
     s->inflight.fetch_sub(1, std::memory_order_release);
     return st;
   }
@@ -236,6 +252,7 @@ class SessionManager {
       DestroyLocked(&s, static_cast<uint32_t>(idx));
       ++evicted;
     }
+    if (evicted != 0) m_evicted_->Add(evicted);
     return evicted;
   }
 
@@ -321,6 +338,13 @@ class SessionManager {
     return slot_count_;
   }
 
+  /// The "sessions." slice of the process-wide metrics snapshot, rendered
+  /// as text (obs/metrics.h). Allocates; for diagnostics, not the hot path.
+  std::string StatsString() const {
+    return obs::RenderText(
+        obs::Registry::Global().TakeSnapshot("sessions."));
+  }
+
  private:
   static constexpr size_t kMaxSessions = size_t{1} << 31;
   static constexpr const char* kUnknownSession =
@@ -397,6 +421,14 @@ class SessionManager {
     if (s->block != nullptr) s->arena->Release(s->block);
     s->arena = arena;
     s->block = static_cast<double*>(arena->Allocate());
+    // Reserved ring bytes across every shape's arena. Recomputed only on
+    // (re)binds — the Push hot path never reaches here, so the gauge costs
+    // the steady state nothing.
+    size_t total_bytes = 0;
+    for (const auto& [block_bytes, a] : arenas_) {
+      total_bytes += a->capacity() * block_bytes;
+    }
+    g_slab_bytes_->Set(static_cast<double>(total_bytes));
   }
 
   util::SlabArena* ArenaForLocked(size_t block_bytes) {
@@ -429,6 +461,8 @@ class SessionManager {
     s->live = false;
     free_slots_.push_back(idx);
     --live_;
+    m_destroyed_->Add();
+    g_live_->Set(static_cast<double>(live_));
   }
 
   // The numeric body of Push, run with the in-flight guard held but the
@@ -530,6 +564,15 @@ class SessionManager {
   // opens a new shape without invalidating warm blocks of the old one.
   std::map<size_t, std::unique_ptr<util::SlabArena>> arenas_;
   core::IncrementalEmTrainer<Obs>* trainer_ = nullptr;
+
+  // Process-wide metrics (obs/metrics.h): registered once at construction.
+  obs::Counter* m_created_ = nullptr;
+  obs::Counter* m_destroyed_ = nullptr;
+  obs::Counter* m_evicted_ = nullptr;
+  obs::Counter* m_pushes_ = nullptr;
+  obs::Gauge* g_live_ = nullptr;
+  obs::Gauge* g_inflight_ = nullptr;
+  obs::Gauge* g_slab_bytes_ = nullptr;
 };
 
 }  // namespace dhmm::serve

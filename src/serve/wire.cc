@@ -60,7 +60,12 @@ Status DecodeHeader(const uint8_t* data, size_t size, FrameHeader* out) {
 Status EncodeResponse(const DecodeResponse& resp, ModelId model,
                       std::vector<uint8_t>* out) {
   const size_t path_bytes = resp.path.size() * 4;
-  const size_t msg_bytes = resp.status.message().size();
+  // The message field is shared: OK responses carry resp.text (the kStats
+  // snapshot; empty for decode responses), error responses carry the
+  // status message. One layout, no new frame fields.
+  const std::string& msg = resp.status.ok() ? resp.text
+                                            : resp.status.message();
+  const size_t msg_bytes = msg.size();
   const size_t payload = kResponseFixed + path_bytes + 4 + msg_bytes;
   if (payload > kMaxPayload) {
     return Status::OutOfRange("response payload exceeds kMaxPayload");
@@ -85,7 +90,7 @@ Status EncodeResponse(const DecodeResponse& resp, ModelId model,
   }
   PutU32(static_cast<uint32_t>(msg_bytes), p);
   p += 4;
-  if (msg_bytes != 0) std::memcpy(p, resp.status.message().data(), msg_bytes);
+  if (msg_bytes != 0) std::memcpy(p, msg.data(), msg_bytes);
   return Status::OK();
 }
 
@@ -96,7 +101,7 @@ Status DecodeResponsePayload(const FrameHeader& h, const uint8_t* payload,
                                    "expected");
   }
   const uint8_t kind = h.kind & ~kResponseBit;
-  if (kind > static_cast<uint8_t>(DecodeKind::kSessionPush)) {
+  if (kind > static_cast<uint8_t>(DecodeKind::kStats)) {
     return Status::InvalidArgument("unknown response kind " +
                                    std::to_string(int{kind}));
   }
@@ -123,11 +128,19 @@ Status DecodeResponsePayload(const FrameHeader& h, const uint8_t* payload,
     resp->path[i] = static_cast<int>(GetU32(p));
   }
   const auto code = static_cast<StatusCode>(GetU16(payload));
-  resp->status = Status::FromCode(
-      code, msg_len == 0 ? std::string()
-                         : std::string(reinterpret_cast<const char*>(
-                                           payload + msg_off + 4),
-                                       msg_len));
+  const char* msg_data =
+      reinterpret_cast<const char*>(payload + msg_off + 4);
+  if (code == StatusCode::kOk) {
+    // OK responses carry DecodeResponse::text in the message field (empty
+    // for decode responses — assign() of nothing stays allocation-free).
+    resp->status = Status::OK();
+    resp->text.assign(msg_data, msg_len);
+  } else {
+    resp->text.clear();
+    resp->status = Status::FromCode(
+        code,
+        msg_len == 0 ? std::string() : std::string(msg_data, msg_len));
+  }
   return Status::OK();
 }
 

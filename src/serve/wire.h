@@ -23,6 +23,14 @@
 //                    f64 value, u32 path length, i32 path entries,
 //                    u32 message length, message bytes.
 //
+// Request kinds are pinned wire values (serve/request.h): kViterbi (0),
+// kPosterior (1), kLogLikelihood (2), kSessionPush (3), and kStats (4).
+// A kStats request carries an (ignored) empty observation payload; its
+// response rides the message field with the rendered obs::Registry
+// snapshot (an OK response's message bytes are DecodeResponse::text, a
+// non-OK response's are status.message() — same layout either way). The
+// first unknown kind byte is therefore 5.
+//
 // Every decode function returns a Status and never aborts: truncated
 // frames, bad magic, unsupported versions, oversized payloads, and
 // payload/header length mismatches are all InvalidArgument/OutOfRange —
@@ -196,7 +204,7 @@ Status DecodeRequestPayload(const FrameHeader& h, const uint8_t* payload,
     return Status::InvalidArgument("response frame where a request was "
                                    "expected");
   }
-  if (h.kind > static_cast<uint8_t>(DecodeKind::kSessionPush)) {
+  if (h.kind > static_cast<uint8_t>(DecodeKind::kStats)) {
     return Status::InvalidArgument("unknown request kind " +
                                    std::to_string(int{h.kind}));
   }

@@ -9,6 +9,7 @@
 #define DHMM_SERVE_WIRE_CLIENT_H_
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -40,11 +41,21 @@ struct WireClientOptions {
   /// still readable by the next Receive), so callers decide whether to
   /// resynchronize or Close().
   int receive_timeout_ms = 0;
+  /// Deadline in milliseconds for Connect() to establish the TCP
+  /// connection. 0 — the default — blocks indefinitely, the pre-option
+  /// behavior. When set, the connect runs non-blocking under poll(); a
+  /// connection that is not established in time returns kDeadlineExceeded
+  /// and leaves the client disconnected.
+  int connect_timeout_ms = 0;
 
   Status Validate() const {
     if (receive_timeout_ms < 0) {
       return Status::InvalidArgument(
           "WireClientOptions::receive_timeout_ms must be >= 0");
+    }
+    if (connect_timeout_ms < 0) {
+      return Status::InvalidArgument(
+          "WireClientOptions::connect_timeout_ms must be >= 0");
     }
     return Status::OK();
   }
@@ -62,7 +73,7 @@ class WireClient {
   WireClient(const WireClient&) = delete;
   WireClient& operator=(const WireClient&) = delete;
 
-  /// \brief Connects to 127.0.0.1:`port`.
+  /// \brief Connects to 127.0.0.1:`port`, honoring connect_timeout_ms.
   Status Connect(uint16_t port) {
     Close();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -73,13 +84,16 @@ class WireClient {
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      const Status st = Errno("connect");
-      Close();
-      return st;
-    }
-    return Status::OK();
+    const Status st =
+        options_.connect_timeout_ms > 0
+            ? ConnectWithDeadline(reinterpret_cast<const sockaddr*>(&addr),
+                                  sizeof(addr))
+            : (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0
+                   ? Status::OK()
+                   : Errno("connect"));
+    if (!st.ok()) Close();
+    return st;
   }
 
   void Close() {
@@ -148,6 +162,63 @@ class WireClient {
   static Status Errno(const char* what) {
     return Status::Internal(std::string(what) + ": " +
                             std::strerror(errno));
+  }
+
+  // The classic bounded connect: flip the socket non-blocking, start the
+  // connect, poll for writability within the deadline, then read SO_ERROR
+  // for the real outcome and restore the original flags. A timeout is a
+  // typed kDeadlineExceeded, never a hang.
+  Status ConnectWithDeadline(const sockaddr* addr, socklen_t len) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0) return Errno("fcntl");
+    if (::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Errno("fcntl");
+    }
+    Status st = Status::OK();
+    if (::connect(fd_, addr, len) != 0) {
+      if (errno != EINPROGRESS) {
+        st = Errno("connect");
+      } else {
+        st = AwaitConnected();
+      }
+    }
+    if (st.ok() && ::fcntl(fd_, F_SETFL, flags) != 0) st = Errno("fcntl");
+    return st;
+  }
+
+  // Polls an in-progress non-blocking connect until it resolves or the
+  // deadline passes. Writability alone is not success — SO_ERROR carries
+  // the real result (e.g. ECONNREFUSED also wakes POLLOUT).
+  Status AwaitConnected() {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options_.connect_timeout_ms);
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - Clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("connection not established within "
+                                        "the connect deadline");
+      }
+      pollfd p{fd_, POLLOUT, 0};
+      const int r = ::poll(&p, 1, static_cast<int>(remaining.count()));
+      if (r > 0) {
+        int err = 0;
+        socklen_t elen = sizeof(err);
+        if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) {
+          return Errno("getsockopt");
+        }
+        if (err != 0) {
+          errno = err;
+          return Errno("connect");
+        }
+        return Status::OK();
+      }
+      if (r == 0) {
+        return Status::DeadlineExceeded("connection not established within "
+                                        "the connect deadline");
+      }
+      if (errno != EINTR) return Errno("poll");
+    }
   }
 
   // Waits for readability within the Receive() deadline. No-op with the

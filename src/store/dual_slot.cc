@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/crc32c.h"
 #include "util/fsio.h"
 
@@ -97,15 +98,22 @@ Result<DualSlotStore> DualSlotStore::Open(const std::string& dir) {
 
   DualSlotStore store;
   store.dir_ = dir;
+  uint64_t corrupt_slots = 0;
   for (int s = 0; s < 2; ++s) {
     store.slot_path_[s] = dir + "/" + kSlotFileName[s];
+    // A slot file that exists but fails the probe below is a detected
+    // corruption (torn write, bit flip) — distinct from a slot that was
+    // simply never written.
+    const bool exists = std::ifstream(store.slot_path_[s]).good();
     // Full probe: header + manifest + every section CRC. Opening a slot
     // directory is a reload-frequency operation, not a decode-frequency
     // one, so paying the checksum pass here is what buys "a corrupt slot
     // is never selected".
     auto reader = ModelStoreReader::Open(store.slot_path_[s]);
-    if (!reader.ok()) continue;
-    if (!reader.value().VerifyAllSections().ok()) continue;
+    if (!reader.ok() || !reader.value().VerifyAllSections().ok()) {
+      if (exists) ++corrupt_slots;
+      continue;
+    }
     store.slot_valid_[s] = true;
     store.slot_seq_[s] = reader.value().sequence_number();
   }
@@ -124,6 +132,24 @@ Result<DualSlotStore> DualSlotStore::Open(const std::string& dir) {
     }
   } else if (store.slot_valid_[0] || store.slot_valid_[1]) {
     store.active_ = store.slot_valid_[0] ? 0 : 1;
+  }
+
+  // Observability (obs/metrics.h): failures the failsafe absorbed. A
+  // corrupt slot counts as "survived" only when a model is still served;
+  // a fallback open is one where the probe overruled the manifest — the
+  // manifest exists but is torn/unreadable, or it points away from the
+  // slot that actually wins.
+  if (store.has_model()) {
+    obs::Registry& reg = obs::Registry::Global();
+    if (corrupt_slots != 0) {
+      reg.GetCounter("store.crc_failures_survived")->Add(corrupt_slots);
+    }
+    const bool manifest_exists =
+        std::ifstream(dir + "/" + kManifestFileName).good();
+    if ((manifest_exists && hint_active < 0) ||
+        (hint_active >= 0 && store.active_ != hint_active)) {
+      reg.GetCounter("store.fallback_opens")->Add();
+    }
   }
   return store;
 }

@@ -25,6 +25,7 @@
 
 #include "hmm/model.h"
 #include "hmm/serialization.h"
+#include "obs/metrics.h"
 #include "store/model_codec.h"
 #include "store/model_store.h"
 #include "util/status.h"
@@ -84,6 +85,7 @@ class DualSlotStore {
     slot_valid_[target] = true;
     slot_seq_[target] = seq;
     active_ = target;
+    obs::Registry::Global().GetCounter("store.publishes")->Add();
     return Status::OK();
   }
 

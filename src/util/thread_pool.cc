@@ -26,7 +26,14 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Destruction must not strand an in-flight ParallelFor from another
+    // thread: a worker that observed shutdown_ would exit without draining
+    // its items, leaving that caller waiting on done_cv_ forever. Let the
+    // active round finish (task_ cleared, every worker idle) before the
+    // workers are told to exit.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return task_ == nullptr && busy_workers_ == 0; });
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -57,8 +64,10 @@ void ThreadPool::WorkerLoop(int worker) {
     }
     DrainItems(worker);
     {
+      // notify_all: the owning ParallelFor and a destructor waiting for
+      // quiescence may both be parked on done_cv_.
       std::lock_guard<std::mutex> lock(mu_);
-      if (--busy_workers_ == 0) done_cv_.notify_one();
+      if (--busy_workers_ == 0) done_cv_.notify_all();
     }
   }
 }
@@ -70,14 +79,25 @@ void ThreadPool::ParallelFor(size_t n,
     for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
+  bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     DHMM_CHECK_MSG(task_ == nullptr, "ThreadPool::ParallelFor re-entered");
-    task_ = &fn;
-    task_size_ = n;
-    next_item_.store(0, std::memory_order_relaxed);
-    busy_workers_ = num_threads_ - 1;
-    ++generation_;
+    if (shutdown_) {
+      // Destruction already began: the workers are exiting and will never
+      // claim another item. Run inline rather than strand the caller.
+      run_inline = true;
+    } else {
+      task_ = &fn;
+      task_size_ = n;
+      next_item_.store(0, std::memory_order_relaxed);
+      busy_workers_ = num_threads_ - 1;
+      ++generation_;
+    }
+  }
+  if (run_inline) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
   }
   start_cv_.notify_all();
   DrainItems(/*worker=*/0);
@@ -86,6 +106,9 @@ void ThreadPool::ParallelFor(size_t n,
     done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
     task_ = nullptr;
   }
+  // Wake a destructor waiting for quiescence (it needs task_ == nullptr,
+  // which only this thread publishes).
+  done_cv_.notify_all();
 }
 
 }  // namespace dhmm::util

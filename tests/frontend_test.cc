@@ -34,6 +34,7 @@
 #include "hmm/serialization.h"
 #include "prob/gaussian_emission.h"
 #include "prob/rng.h"
+#include "obs/metrics.h"
 #include "serve/decode_service.h"
 #include "serve/frontend.h"
 #include "serve/model_registry.h"
@@ -798,6 +799,246 @@ TEST_F(FrontEndTest, OptionsValidateRejectsNonsense) {
   serve::ModelRegistryOptions ropts;
   ropts.max_resident = 0;
   EXPECT_FALSE(ropts.Validate().ok());
+}
+
+// ------------------------------------------------- kStats on the wire ---
+
+TEST_F(FrontEndTest, StatsOpcodeReturnsRenderedSnapshotInline) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 181)).ok());
+  StartFrontEnd();
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  const std::vector<double> obs = {0.5, 1.5, 2.5};
+
+  // Some decode traffic first, so the snapshot has non-zero counters.
+  serve::DecodeResponse resp;
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client.Call(Request(1, serve::DecodeKind::kViterbi, &obs, i), &resp)
+            .ok());
+    ASSERT_TRUE(resp.status.ok());
+  }
+
+  // The stats query itself: model id is ignored, the observation payload
+  // is empty, and the rendered snapshot rides the message field.
+  const std::vector<double> empty;
+  ASSERT_TRUE(
+      client.Call(Request(0, serve::DecodeKind::kStats, &empty, 91), &resp)
+          .ok());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.request_id, 91u);
+  EXPECT_EQ(resp.kind, serve::DecodeKind::kStats);
+  ASSERT_FALSE(resp.text.empty());
+  // The full (unprefixed) snapshot: front-end counters, the latency
+  // histogram expansion, and the startup ISA gauge all show up.
+  EXPECT_NE(resp.text.find("frontend.frames_accepted "), std::string::npos)
+      << resp.text;
+  EXPECT_NE(resp.text.find("frontend.requests.stats "), std::string::npos);
+  EXPECT_NE(resp.text.find("frontend.request_latency_us.p99 "),
+            std::string::npos);
+  EXPECT_NE(resp.text.find("startup.kernel_isa "), std::string::npos);
+
+  // The in-process accessor renders only the "frontend." prefix.
+  const std::string s = frontend_->StatsString();
+  EXPECT_NE(s.find("frontend.frames_accepted "), std::string::npos);
+  EXPECT_EQ(s.find("startup."), std::string::npos);
+
+  // A later decode on the same connection still works: stats queries are
+  // ordinary frames, not a connection mode.
+  ASSERT_TRUE(
+      client.Call(Request(1, serve::DecodeKind::kViterbi, &obs, 92), &resp)
+          .ok());
+  EXPECT_TRUE(resp.status.ok());
+}
+
+TEST_F(FrontEndTest, StatsFrameSurvivesEveryPrefixTruncation) {
+  ASSERT_TRUE(registry_.Register(1, MakeModel(3, 182)).ok());
+  StartFrontEnd();
+
+  std::vector<uint8_t> frame;
+  const std::vector<double> empty;
+  ASSERT_TRUE(
+      wire::EncodeRequest(Request(0, serve::DecodeKind::kStats, &empty, 93),
+                          &frame)
+          .ok());
+
+  // Every strict prefix of the frame, sent and abandoned: the server must
+  // treat each as an incomplete frame and drop the connection on EOF
+  // without crashing, wedging, or leaking the IO thread.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    serve::WireClient partial;
+    ASSERT_TRUE(partial.Connect(frontend_->port()).ok()) << "len=" << len;
+    if (len > 0) {
+      ASSERT_TRUE(partial.SendRaw(frame.data(), len).ok());
+    }
+    partial.Close();
+  }
+
+  // A kStats frame with an intact header but a lying payload (declares 5
+  // observations, carries none) gets the typed error, kind preserved, and
+  // the connection survives — framing itself was coherent.
+  serve::WireClient client;
+  ASSERT_TRUE(client.Connect(frontend_->port()).ok());
+  std::vector<uint8_t> bad = frame;
+  bad[32] = 4;  // payload_len stays 4 (just the count field)...
+  bad[wire::kHeaderSize] = 5;  // ...but the count now claims 5 obs
+  ASSERT_TRUE(client.SendRaw(bad.data(), bad.size()).ok());
+  serve::DecodeResponse resp;
+  ASSERT_TRUE(client.Receive(&resp).ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(resp.request_id, 93u);
+  EXPECT_EQ(resp.kind, serve::DecodeKind::kStats);
+
+  // After all that abuse, the server still answers a well-formed stats
+  // query on the surviving connection.
+  ASSERT_TRUE(
+      client.Call(Request(0, serve::DecodeKind::kStats, &empty, 94), &resp)
+          .ok());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_FALSE(resp.text.empty());
+}
+
+// --------------------------------------------- counter reconciliation ---
+
+TEST(FrontEndObsTest, PerKindCountersReconcileExactlyForEveryWorkerCount) {
+  // The per-kind counters partition accepted frames: for any decode
+  // worker count, sum over kinds == frames_accepted, exactly. Counters
+  // are process-wide, so everything is asserted on before/after deltas.
+  for (const int workers : {1, 2, 4}) {
+    serve::ModelRegistryOptions ropts;
+    ropts.service.num_threads = workers;
+    serve::ModelRegistry<double> registry(ropts);
+    ASSERT_TRUE(registry.Register(1, MakeModel(3, 183)).ok());
+    serve::FrontEnd<double> frontend(&registry);
+    ASSERT_TRUE(frontend.Start().ok());
+    serve::WireClient client;
+    ASSERT_TRUE(client.Connect(frontend.port()).ok());
+    const std::vector<double> obs = {0.5, 1.5, 2.5, 3.5};
+    const std::vector<double> empty;
+
+    const obs::Snapshot before =
+        obs::Registry::Global().TakeSnapshot("frontend.");
+
+    // Distinct per-kind counts catch a mismapped counter index; the
+    // session pushes (sessions not enabled => FailedPrecondition) prove
+    // "accepted" means well-formed, not successfully served.
+    const struct {
+      serve::DecodeKind kind;
+      const std::vector<double>* payload;
+      uint64_t count;
+    } mix[] = {{serve::DecodeKind::kViterbi, &obs, 7},
+               {serve::DecodeKind::kPosterior, &obs, 5},
+               {serve::DecodeKind::kLogLikelihood, &obs, 3},
+               {serve::DecodeKind::kSessionPush, &obs, 2},
+               {serve::DecodeKind::kStats, &empty, 1}};
+    uint64_t id = 0, total = 0;
+    serve::DecodeResponse resp;
+    for (const auto& m : mix) {
+      for (uint64_t i = 0; i < m.count; ++i, ++total) {
+        serve::DecodeRequest<double> req;
+        req.request_id = ++id;
+        req.model = 1;
+        req.kind = m.kind;
+        req.obs = m.payload;
+        ASSERT_TRUE(client.Call(req, &resp).ok());
+      }
+    }
+
+    const obs::Snapshot after =
+        obs::Registry::Global().TakeSnapshot("frontend.");
+    const auto delta = [&](const std::string& name) {
+      return after.ValueOf(name) - before.ValueOf(name);
+    };
+    EXPECT_EQ(delta("frontend.requests.viterbi"), 7.0) << workers;
+    EXPECT_EQ(delta("frontend.requests.posterior"), 5.0) << workers;
+    EXPECT_EQ(delta("frontend.requests.loglik"), 3.0) << workers;
+    EXPECT_EQ(delta("frontend.requests.session_push"), 2.0) << workers;
+    EXPECT_EQ(delta("frontend.requests.stats"), 1.0) << workers;
+    EXPECT_EQ(delta("frontend.frames_accepted"),
+              static_cast<double>(total))
+        << workers;
+    EXPECT_EQ(delta("frontend.request_latency_us.count"),
+              static_cast<double>(total))
+        << workers;
+  }
+}
+
+// ------------------------------------------- WireClient connect deadline ---
+
+TEST(WireClientConnectTest, ValidateAndRefusalAreTyped) {
+  serve::WireClientOptions bad;
+  bad.connect_timeout_ms = -1;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+
+  // A dead port refuses outright: that is a connect error carrying the
+  // SO_ERROR/errno detail, not a DeadlineExceeded — the deadline is only
+  // for connects that never resolve.
+  uint16_t dead_port = 0;
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    socklen_t alen = sizeof(addr);
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen),
+              0);
+    dead_port = ntohs(addr.sin_port);
+    ::close(fd);  // bound but never listened: the port now refuses
+  }
+  serve::WireClientOptions copts;
+  copts.connect_timeout_ms = 500;
+  serve::WireClient client(copts);
+  const Status st = client.Connect(dead_port);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(WireClientConnectTest, ConnectTimeoutIsTypedDeadlineExceeded) {
+  // A listener that never accepts, with the smallest backlog: once the
+  // kernel accept queue fills, further SYNs are dropped and the connect
+  // hangs — exactly what connect_timeout_ms exists to bound.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, /*backlog=*/0), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  serve::WireClientOptions copts;
+  copts.connect_timeout_ms = 250;
+  // Fillers saturate the backlog; the exact capacity is a kernel detail,
+  // so connect until one times out.
+  std::vector<std::unique_ptr<serve::WireClient>> fillers;
+  bool saw_timeout = false;
+  for (int attempt = 0; attempt < 16 && !saw_timeout; ++attempt) {
+    auto c = std::make_unique<serve::WireClient>(copts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status st = c->Connect(port);
+    if (st.ok()) {
+      fillers.push_back(std::move(c));
+      continue;
+    }
+    ASSERT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+    EXPECT_NE(st.message().find("connect deadline"), std::string::npos);
+    EXPECT_FALSE(c->connected());
+    // The deadline was honored, not busy-failed and not ignored.
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(elapsed.count(), 200);
+    EXPECT_LT(elapsed.count(), 5000);
+    saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_timeout)
+      << "no connect timed out against a saturated backlog";
+  ::close(lfd);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "data/toy.h"
 #include "hmm/model.h"
+#include "obs/metrics.h"
 #include "hmm/sampler.h"
 #include "hmm/serialization.h"
 #include "prob/bernoulli_emission.h"
@@ -342,12 +343,18 @@ TEST_F(StoreTest, DualSlotPublishAndReopen) {
   EXPECT_FALSE(s.value().has_model());
   EXPECT_FALSE(s.value().Load<double>().ok());
 
+  // Process-wide counters: assert exact deltas around the two publishes.
+  obs::Counter* publishes =
+      obs::Registry::Global().GetCounter("store.publishes");
+  const uint64_t publishes_before = publishes->Value();
+
   const auto m1 = GaussianModel(21);
   const auto m2 = GaussianModel(22);
   ASSERT_TRUE(s.value().Publish(m1).ok());
   EXPECT_EQ(s.value().sequence_number(), 1u);
   ASSERT_TRUE(s.value().Publish(m2).ok());
   EXPECT_EQ(s.value().sequence_number(), 2u);
+  EXPECT_EQ(publishes->Value() - publishes_before, 2u);
 
   // A fresh Open (new process, conceptually) sees the latest publish.
   auto reopened = store::DualSlotStore::Open(dir);
@@ -372,6 +379,15 @@ TEST_F(StoreTest, CorruptActiveSlotFallsBackToPrevious) {
   bytes.back() ^= 0x04;
   WriteBytes(dir + "/slot_b.dhmms", bytes);
 
+  // The survived failover is observable: the reopen counts the corrupt
+  // slot it skipped and the active-slot fallback (manifest said B, the
+  // store chose A).
+  obs::Registry& reg = obs::Registry::Global();
+  const uint64_t crc_before =
+      reg.GetCounter("store.crc_failures_survived")->Value();
+  const uint64_t fallback_before =
+      reg.GetCounter("store.fallback_opens")->Value();
+
   auto reopened = store::DualSlotStore::Open(dir);
   ASSERT_TRUE(reopened.ok());
   ASSERT_TRUE(reopened.value().has_model());
@@ -379,6 +395,12 @@ TEST_F(StoreTest, CorruptActiveSlotFallsBackToPrevious) {
   auto loaded = reopened.value().Load<double>();
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(CoreEqual(m1.pi, m1.a, loaded.value().pi, loaded.value().a));
+  EXPECT_EQ(reg.GetCounter("store.crc_failures_survived")->Value() -
+                crc_before,
+            1u);
+  EXPECT_EQ(reg.GetCounter("store.fallback_opens")->Value() -
+                fallback_before,
+            1u);
 }
 
 TEST_F(StoreTest, TornPublishNewerSlotWinsOverStaleManifest) {

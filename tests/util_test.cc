@@ -1,4 +1,7 @@
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace dhmm {
 namespace {
@@ -144,6 +148,48 @@ TEST(MpscRingTest, FullRingRefusesPushUntilPop) {
   EXPECT_EQ(v, 3);
 }
 
+TEST(MpscRingTest, FullWraparoundReuseStaysFifo) {
+  // Every cell is reused many times, driving the Vyukov sequence numbers
+  // far past the capacity: a bug in the pos + mask_ + 1 reset would
+  // surface as a stuck push/pop or an out-of-order item within a few laps.
+  util::MpscRing<int> ring(4);
+  int next_push = 0;
+  int next_pop = 0;
+  int v = -1;
+  for (int lap = 0; lap < 1000; ++lap) {
+    while (ring.TryPush(next_push)) ++next_push;  // fill to capacity
+    EXPECT_EQ(ring.size_approx(), ring.capacity());
+    while (ring.TryPop(&v)) {
+      ASSERT_EQ(v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_EQ(next_push, 1000 * static_cast<int>(ring.capacity()));
+}
+
+TEST(MpscRingTest, MisalignedWraparoundReuseStaysFifo) {
+  // Push 3 / pop 2 per step so the cursors cross the capacity boundary at
+  // every possible offset, not just multiples of the ring size.
+  util::MpscRing<int> ring(4);
+  int push = 0;
+  int pop = 0;
+  int v = -1;
+  for (int step = 0; step < 5000; ++step) {
+    for (int i = 0; i < 3 && ring.TryPush(push); ++i) ++push;
+    for (int i = 0; i < 2 && ring.TryPop(&v); ++i) {
+      ASSERT_EQ(v, pop);
+      ++pop;
+    }
+  }
+  while (ring.TryPop(&v)) {
+    ASSERT_EQ(v, pop);
+    ++pop;
+  }
+  EXPECT_EQ(push, pop);
+  EXPECT_GT(push, 10000);
+}
+
 TEST(MpscRingTest, ConcurrentProducersDeliverEveryItemExactlyOnce) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 5000;
@@ -173,6 +219,45 @@ TEST(MpscRingTest, ConcurrentProducersDeliverEveryItemExactlyOnce) {
   std::sort(seen.begin(), seen.end());
   for (int i = 0; i < kProducers * kPerProducer; ++i) {
     ASSERT_EQ(seen[static_cast<size_t>(i)], i);
+  }
+}
+
+// ------------------------------------------------------------ ThreadPool ---
+
+TEST(ThreadPoolTest, DestructionWaitsForInFlightParallelFor) {
+  // A destructor racing an in-flight ParallelFor must let the round finish
+  // — every queued item executed exactly once, no stranded waiter — before
+  // telling the workers to exit.
+  constexpr size_t kItems = 64;
+  auto pool = std::make_unique<util::ThreadPool>(4);
+  std::atomic<size_t> executed{0};
+  std::atomic<bool> started{false};
+  std::thread runner([&] {
+    pool->ParallelFor(kItems, [&](int, size_t) {
+      started.store(true, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  while (!started.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+  // Items are still queued (64 ms of work vs the first item barely done).
+  pool.reset();
+  EXPECT_EQ(executed.load(std::memory_order_relaxed), kItems);
+  runner.join();
+}
+
+TEST(ThreadPoolTest, RepeatedConstructDestroyWithWork) {
+  // Teardown immediately after a round: the quiescence wait in the
+  // destructor must see the cleared task and not hang or drop items.
+  for (int iter = 0; iter < 20; ++iter) {
+    util::ThreadPool pool(3);
+    std::atomic<size_t> executed{0};
+    pool.ParallelFor(16, [&](int, size_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(executed.load(std::memory_order_relaxed), 16u);
   }
 }
 

@@ -105,9 +105,13 @@ void ExpectRequestRoundTrip(const DecodeRequest<Obs>& req) {
                                               h.payload_len, &obs)
                   .ok());
   ASSERT_EQ(obs.size(), req.obs->size());
-  // Bitwise comparison (EXPECT_EQ on doubles would miss NaN payloads).
-  EXPECT_EQ(0, std::memcmp(obs.data(), req.obs->data(),
-                           obs.size() * sizeof(Obs)));
+  // Bitwise comparison (EXPECT_EQ on doubles would miss NaN payloads). An
+  // empty payload (e.g. a kStats request) has no bytes to compare, and
+  // data() on an empty vector may be null — memcmp(null, null, 0) is UB.
+  if (!obs.empty()) {
+    EXPECT_EQ(0, std::memcmp(obs.data(), req.obs->data(),
+                             obs.size() * sizeof(Obs)));
+  }
 }
 
 TEST(WireRequestTest, RandomDoubleRoundTrips) {
@@ -167,6 +171,50 @@ TEST(WireRequestTest, SessionPushOpcodeIsPinnedAndRoundTrips) {
   ExpectRequestRoundTrip(req);
 }
 
+TEST(WireRequestTest, StatsOpcodeIsPinnedAndRoundTrips) {
+  // kStats is wire kind byte 4 — pinned so independently compiled clients
+  // and servers agree on the stats opcode. The payload is an (ignored)
+  // empty observation sequence.
+  EXPECT_EQ(static_cast<uint8_t>(DecodeKind::kStats), 4);
+  std::vector<double> obs;
+  DecodeRequest<double> req;
+  req.request_id = 1234;
+  req.kind = DecodeKind::kStats;
+  req.obs = &obs;
+  ExpectRequestRoundTrip(req);
+}
+
+TEST(WireResponseTest, StatsTextRidesTheMessageFieldOfOkResponses) {
+  // An OK response's message bytes are DecodeResponse::text (the rendered
+  // stats snapshot); a non-OK response's are status.message(). Same frame
+  // layout either way — kStats added no wire fields.
+  DecodeResponse resp;
+  resp.request_id = 77;
+  resp.kind = DecodeKind::kStats;
+  resp.status = Status::OK();
+  resp.text = "frontend.frames_accepted 12\nstartup.kernel_isa 0\n";
+  std::vector<uint8_t> frame;
+  ASSERT_TRUE(wire::EncodeResponse(resp, 0, &frame).ok());
+  wire::FrameHeader h;
+  DecodeResponse back;
+  ASSERT_TRUE(
+      wire::DecodeResponseFrame(frame.data(), frame.size(), &h, &back).ok());
+  EXPECT_EQ(back.kind, DecodeKind::kStats);
+  EXPECT_TRUE(back.status.ok());
+  EXPECT_EQ(back.text, resp.text);
+
+  // Error responses keep the message field for the status and clear text.
+  resp.status = Status::Unavailable("shed");
+  resp.text.clear();
+  frame.clear();
+  ASSERT_TRUE(wire::EncodeResponse(resp, 0, &frame).ok());
+  ASSERT_TRUE(
+      wire::DecodeResponseFrame(frame.data(), frame.size(), &h, &back).ok());
+  EXPECT_EQ(back.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(back.status.message(), "shed");
+  EXPECT_TRUE(back.text.empty());
+}
+
 TEST(WireRequestTest, EveryPrefixTruncationFails) {
   std::vector<double> obs = {1.5, -2.25, 3.0};
   DecodeRequest<double> req;
@@ -204,10 +252,10 @@ TEST(WireRequestTest, RejectsMalformedPayloads) {
                                                   h.payload_len, &out)
                    .ok());
 
-  // 3 is kSessionPush, a valid opcode since the session front-end; the
-  // first unknown kind is 4.
+  // 3 is kSessionPush and 4 is kStats, both valid opcodes; the first
+  // unknown kind is 5.
   wire::FrameHeader unknown = h;
-  unknown.kind = 4;
+  unknown.kind = 5;
   EXPECT_FALSE(
       wire::DecodeRequestPayload<double>(unknown, payload, h.payload_len, &out)
           .ok());
